@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (timed via pytest-benchmark's pedantic mode), prints
+the same rows/series the paper reports, and asserts the qualitative shape.
+
+Scale knobs (environment variables):
+
+* ``REPRO_TRACE_LEN``   — references per trace (default 24000).
+* ``REPRO_FULL_SUITE``  — set to 1 to run all 16 workloads where the
+  default uses the 8-workload cloud subset for the heavyweight sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.workloads.suite import (
+    CLOUD_WORKLOADS,
+    WORKLOADS,
+    build_trace,
+    get_workload,
+)
+
+#: references per trace in benchmark runs.
+TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "24000"))
+#: seed shared by every benchmark so designs see identical traces.
+SEED = 42
+
+FULL_SUITE = list(WORKLOADS)
+CLOUD_SUITE = list(CLOUD_WORKLOADS)
+SWEEP_SUITE = (FULL_SUITE if os.environ.get("REPRO_FULL_SUITE") == "1"
+               else CLOUD_SUITE)
+
+_trace_cache: Dict = {}
+
+
+def trace_for(workload: str, length: int = None, seed: int = SEED):
+    """Build (and memoize) the benchmark trace for a workload."""
+    length = length or TRACE_LEN
+    key = (workload, length, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = build_trace(get_workload(workload),
+                                        length=length, seed=seed)
+    return _trace_cache[key]
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def base_config():
+    """The paper's default evaluation machine: OoO at 1.33GHz."""
+    return SystemConfig(l1_design="seesaw", l1_size_kb=32,
+                        frequency_ghz=1.33, core="ooo")

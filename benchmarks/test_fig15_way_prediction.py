@@ -1,0 +1,78 @@
+"""Fig. 15 — SEESAW vs way prediction, and their combination.
+
+Four design points at 64KB/1.33GHz: baseline VIPT (reference), VIPT + MRU
+way prediction (WP), SEESAW, and WP+SEESAW.
+
+Paper shape: WP alone can *degrade* performance for poor-locality
+workloads (graph500, olio) while saving energy; SEESAW never degrades
+performance; WP+SEESAW achieves the best energy savings.
+"""
+
+import pytest
+
+from repro.analysis.report import Reporter
+from repro.sim.config import SystemConfig
+from repro.sim.experiment import improvement_percent
+from repro.sim.system import simulate
+
+from .conftest import SWEEP_SUITE, once, trace_for
+
+DESIGNS = {
+    "WP": dict(l1_design="vipt", way_prediction=True),
+    "SEESAW": dict(l1_design="seesaw", way_prediction=False),
+    "WP+SEESAW": dict(l1_design="seesaw", way_prediction=True),
+}
+
+
+def test_fig15_way_prediction_comparison(benchmark):
+    def experiment():
+        table = {}
+        for name in SWEEP_SUITE:
+            trace = trace_for(name)
+            base = simulate(SystemConfig(l1_design="vipt", l1_size_kb=64),
+                            trace)
+            row = {}
+            for label, kw in DESIGNS.items():
+                run = simulate(SystemConfig(l1_size_kb=64, **kw), trace)
+                row[label] = (
+                    improvement_percent(base.runtime_cycles,
+                                        run.runtime_cycles),
+                    improvement_percent(base.total_energy_nj,
+                                        run.total_energy_nj),
+                    run.way_prediction_accuracy,
+                )
+            table[name] = row
+        return table
+
+    table = once(benchmark, experiment)
+    reporter = Reporter("Fig. 15 — WP vs SEESAW vs WP+SEESAW "
+                        "(64KB @ 1.33GHz, % improvement over VIPT)")
+    rows = []
+    for name in SWEEP_SUITE:
+        for label in DESIGNS:
+            perf, energy, acc = table[name][label]
+            rows.append([name, label, f"{perf:.2f}", f"{energy:.2f}",
+                         "-" if acc is None else f"{acc:.2f}"])
+    reporter.table(["workload", "design", "perf %", "energy %",
+                    "WP accuracy"], rows)
+    reporter.emit()
+
+    wp_perf = [table[n]["WP"][0] for n in SWEEP_SUITE]
+    seesaw_perf = [table[n]["SEESAW"][0] for n in SWEEP_SUITE]
+    # WP alone never improves performance beyond noise, and degrades it
+    # for at least one poor-locality workload (paper: graph500, olio).
+    assert min(wp_perf) < -0.25
+    assert max(wp_perf) < 2.0
+    # SEESAW never degrades performance (within noise) and usually wins.
+    assert min(seesaw_perf) > -0.75
+    assert max(seesaw_perf) > 3.0
+    for name in SWEEP_SUITE:
+        # Both WP designs save energy; the combination saves the most of
+        # the three for most workloads.
+        assert table[name]["WP"][1] > 0, name
+        assert table[name]["WP+SEESAW"][1] > 0, name
+    combo_wins = sum(
+        1 for n in SWEEP_SUITE
+        if table[n]["WP+SEESAW"][1] >= max(table[n]["WP"][1],
+                                           table[n]["SEESAW"][1]) - 0.25)
+    assert combo_wins >= len(SWEEP_SUITE) // 2

@@ -1,0 +1,100 @@
+"""Fig. 2 — the motivation study.
+
+* Fig. 2a: average L1 MPKI vs associativity for 16KB-256KB caches.
+  Expected shape: MPKI flattens beyond ~4 ways (conflict misses gone,
+  capacity misses remain).
+* Fig. 2b: access latency vs associativity (SRAM model): +10-25% per
+  associativity doubling, exploding beyond 8 ways.
+* Fig. 2c: access energy vs associativity: +40-50% per step.
+"""
+
+import pytest
+
+from repro.analysis.report import Reporter
+from repro.cache.basic import SetAssociativeCache
+from repro.energy.sram import SRAMModel
+
+from .conftest import SWEEP_SUITE, once, trace_for
+
+KB = 1024
+SIZES_2A = [16, 32, 64, 128, 256]
+WAYS_2A = [1, 4, 8, 16, 32]
+SIZES_2BC = [16, 32, 64, 128]
+WAYS_2BC = [1, 2, 4, 8, 16, 32]
+
+
+def _avg_mpki(size_kb: int, ways: int) -> float:
+    """Trace-driven MPKI averaged over the workload suite."""
+    total = 0.0
+    for name in SWEEP_SUITE:
+        trace = trace_for(name)
+        cache = SetAssociativeCache(size_kb * KB, ways)
+        for address in trace.addresses:
+            cache.access(address)
+        total += cache.stats.mpki(trace.instructions)
+    return total / len(SWEEP_SUITE)
+
+
+def test_fig2a_mpki_vs_associativity(benchmark):
+    def experiment():
+        return {size: {ways: _avg_mpki(size, min(ways, size * KB // 64))
+                       for ways in WAYS_2A}
+                for size in SIZES_2A}
+
+    table = once(benchmark, experiment)
+    reporter = Reporter("Fig. 2a — Avg MPKI vs associativity")
+    reporter.table(
+        ["size"] + [f"{w}-way" for w in WAYS_2A],
+        [[f"{size}KB"] + [f"{table[size][w]:.1f}" for w in WAYS_2A]
+         for size in SIZES_2A])
+    reporter.emit()
+    # Shape: going 1->4 ways helps far more than 8->32 ways.
+    for size in SIZES_2A:
+        low_gain = table[size][1] - table[size][4]
+        high_gain = table[size][8] - table[size][32]
+        assert low_gain >= high_gain - 0.5
+    # Shape: MPKI falls with capacity.
+    assert table[256][8] < table[16][8]
+
+
+def test_fig2b_access_latency(benchmark):
+    model = SRAMModel()
+
+    def experiment():
+        return {size: {ways: model.access_latency_ns(size * KB, ways)
+                       for ways in WAYS_2BC}
+                for size in SIZES_2BC}
+
+    table = once(benchmark, experiment)
+    reporter = Reporter("Fig. 2b — Cache access latency (ns)")
+    reporter.table(
+        ["size"] + [f"{w}-way" for w in WAYS_2BC],
+        [[f"{size}KB"] + [f"{table[size][w]:.2f}" for w in WAYS_2BC]
+         for size in SIZES_2BC])
+    reporter.emit()
+    for size in SIZES_2BC:
+        for ways in (1, 2, 4):
+            step = table[size][ways * 2] / table[size][ways]
+            assert 1.10 <= step <= 1.25          # paper: 10-25% per step
+        assert table[size][32] > 2 * table[size][8]  # infeasible corner
+
+
+def test_fig2c_access_energy(benchmark):
+    model = SRAMModel()
+
+    def experiment():
+        return {size: {ways: model.access_energy_nj(size * KB, ways)
+                       for ways in WAYS_2BC}
+                for size in SIZES_2BC}
+
+    table = once(benchmark, experiment)
+    reporter = Reporter("Fig. 2c — Cache access energy (nJ)")
+    reporter.table(
+        ["size"] + [f"{w}-way" for w in WAYS_2BC],
+        [[f"{size}KB"] + [f"{table[size][w]:.4f}" for w in WAYS_2BC]
+         for size in SIZES_2BC])
+    reporter.emit()
+    for size in SIZES_2BC:
+        for ways in (1, 2, 4, 8, 16):
+            step = table[size][ways * 2] / table[size][ways]
+            assert 1.40 <= step <= 1.50          # paper: 40-50% per step

@@ -1,0 +1,53 @@
+"""Fig. 3 — fraction of memory footprint backed by 2MB superpages, as
+memory is fragmented with memhog.
+
+Paper shape: 65%+ coverage for every workload at low fragmentation (many
+80%+), still-ample coverage at memhog 40-60%, collapse only at 80%+ — yet
+some superpages survive even there.
+"""
+
+import pytest
+
+from repro.analysis.report import Reporter
+from repro.sim.config import SystemConfig
+from repro.sim.system import SystemSimulator
+
+from .conftest import FULL_SUITE, once, trace_for
+
+MEMHOG_LEVELS = [0.0, 0.4, 0.6, 0.8]
+
+
+def _coverage(workload: str, memhog: float) -> float:
+    trace = trace_for(workload, length=6000)
+    config = SystemConfig(l1_design="seesaw", memhog_fraction=memhog,
+                          aging_fraction=0.15)
+    sim = SystemSimulator(config, trace)
+    result = sim.run(warmup_fraction=0.0)
+    return 100.0 * result.footprint_superpage_fraction
+
+
+def test_fig3_superpage_footprint_coverage(benchmark):
+    def experiment():
+        return {name: {m: _coverage(name, m) for m in MEMHOG_LEVELS}
+                for name in FULL_SUITE}
+
+    table = once(benchmark, experiment)
+    reporter = Reporter(
+        "Fig. 3 — Percent of memory footprint on 2MB superpages")
+    reporter.table(
+        ["workload"] + [f"memhog({int(m*100)}%)" for m in MEMHOG_LEVELS],
+        [[name] + [f"{table[name][m]:.0f}" for m in MEMHOG_LEVELS]
+         for name in FULL_SUITE])
+    reporter.emit()
+
+    for name in FULL_SUITE:
+        series = [table[name][m] for m in MEMHOG_LEVELS]
+        # Low fragmentation: ample superpages (paper: 65%+).
+        assert series[0] >= 60.0, name
+        # Coverage decays monotonically (within noise) with fragmentation.
+        assert series[0] >= series[1] >= series[2] - 5.0, name
+        assert series[-1] <= series[0], name
+    # Collapse at 80%: average coverage should be far below the baseline.
+    avg_0 = sum(table[n][0.0] for n in FULL_SUITE) / len(FULL_SUITE)
+    avg_80 = sum(table[n][0.8] for n in FULL_SUITE) / len(FULL_SUITE)
+    assert avg_80 < 0.5 * avg_0

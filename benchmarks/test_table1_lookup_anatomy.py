@@ -1,0 +1,89 @@
+"""Table I — anatomy of a SEESAW lookup, case by case.
+
+Reconstructs the paper's table for a 32KB L1 at 1.33GHz: page size, TFT
+outcome, cache outcome, per-cycle activity, and the savings class
+(latency+energy / energy / none) relative to baseline VIPT.
+"""
+
+import pytest
+
+from repro.analysis.report import Reporter
+from repro.cache.vipt import L1Timing, ViptL1Cache
+from repro.core.seesaw import SeesawL1Cache
+from repro.mem.address import PageSize
+
+from .conftest import once
+
+TIMING = L1Timing(base_hit_cycles=2, super_hit_cycles=1, tft_cycles=1)
+
+SUPER_VA = 0x4000_1040
+SUPER_PA = 0x0820_1040
+
+
+def _run_cases():
+    baseline = ViptL1Cache(32 * 1024, TIMING)
+    rows = []
+
+    def classify(result, base_result):
+        latency_saved = result.latency_cycles < base_result.latency_cycles
+        energy_saved = result.ways_probed < base_result.ways_probed
+        if result.hit and latency_saved and energy_saved:
+            return "Latency + Energy"
+        if energy_saved:
+            return "Energy"
+        return "None"
+
+    # Case 1: 2MB page, TFT hit, cache hit.
+    cache = SeesawL1Cache(32 * 1024, TIMING)
+    cache.tft.fill(SUPER_VA)
+    cache.fill(SUPER_PA, PageSize.SUPER_2MB)
+    baseline.fill(SUPER_PA, PageSize.SUPER_2MB)
+    result = cache.access(SUPER_VA, SUPER_PA, PageSize.SUPER_2MB)
+    base = baseline.access(SUPER_VA, SUPER_PA, PageSize.SUPER_2MB)
+    rows.append(("2MB", "Hit", "Hit", result.latency_cycles,
+                 result.ways_probed, classify(result, base)))
+
+    # Case 2: 2MB page, TFT hit, cache miss.
+    cache = SeesawL1Cache(32 * 1024, TIMING)
+    cache.tft.fill(SUPER_VA)
+    result = cache.access(SUPER_VA, SUPER_PA, PageSize.SUPER_2MB)
+    base = baseline.access(SUPER_VA + 64, SUPER_PA + 4096,
+                           PageSize.SUPER_2MB)
+    rows.append(("2MB", "Hit", "Miss", result.miss_detect_cycles,
+                 result.ways_probed, classify(result, base)))
+
+    # Case 3: 2MB page, TFT miss.
+    cache = SeesawL1Cache(32 * 1024, TIMING)
+    cache.fill(SUPER_PA, PageSize.SUPER_2MB)
+    result = cache.access(SUPER_VA, SUPER_PA, PageSize.SUPER_2MB)
+    base = baseline.access(SUPER_VA, SUPER_PA, PageSize.SUPER_2MB)
+    rows.append(("2MB", "Miss", "*", result.latency_cycles,
+                 result.ways_probed, classify(result, base)))
+
+    # Case 4: 4KB page (TFT always misses).
+    cache = SeesawL1Cache(32 * 1024, TIMING)
+    cache.fill(0x9000, PageSize.BASE_4KB)
+    result = cache.access(0x1000, 0x9000, PageSize.BASE_4KB)
+    base = baseline.access(0x1000, 0x9000, PageSize.BASE_4KB)
+    rows.append(("4KB", "Miss", "*", result.latency_cycles,
+                 result.ways_probed, classify(result, base)))
+    return rows
+
+
+def test_table1_lookup_anatomy(benchmark):
+    rows = once(benchmark, _run_cases)
+    reporter = Reporter("Table I — Anatomy of a SEESAW lookup "
+                        "(32KB, 8-way, 1.33GHz)")
+    reporter.table(
+        ["PageSize", "TFT", "Cache", "Cycles", "WaysRead",
+         "Savings vs baseline"],
+        rows)
+    reporter.emit()
+    by_case = {(r[0], r[1], r[2]): r for r in rows}
+    # Row 1: superpage fast hit — 1 cycle, 4 ways, saves latency + energy.
+    assert by_case[("2MB", "Hit", "Hit")][3:] == (1, 4, "Latency + Energy")
+    # Row 2: superpage TFT-hit miss — energy saving only.
+    assert by_case[("2MB", "Hit", "Miss")][4:] == (4, "Energy")
+    # Rows 3-4: TFT miss — full set read, no savings (baseline behaviour).
+    assert by_case[("2MB", "Miss", "*")][3:] == (2, 8, "None")
+    assert by_case[("4KB", "Miss", "*")][3:] == (2, 8, "None")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Coherence study: where SEESAW's third lookup class pays off.
+
+Coherence probes carry physical addresses and, under SEESAW's ``4way``
+insertion policy, touch a single partition — for base pages and superpages
+alike (paper §IV-C1).  This example runs the multi-threaded workloads under
+both coherence fabrics and breaks the L1 lookup-energy savings into
+CPU-side vs coherence components, a per-run view of the paper's Fig. 11
+and its §VI-B snoopy observation.
+
+Run:
+    python examples/coherence_study.py
+"""
+
+from repro import SystemConfig, build_trace, compare_designs, get_workload
+from repro.analysis.report import Reporter
+
+MULTITHREADED = ("cann", "g500", "tunk", "nutch")
+LENGTH = 16_000
+
+
+def main() -> None:
+    reporter = Reporter("Coherence-lookup savings under SEESAW "
+                        "(64KB @ 1.33GHz)")
+    for fabric in ("directory", "snoop"):
+        rows = []
+        for name in MULTITHREADED:
+            trace = build_trace(get_workload(name), length=LENGTH, seed=42)
+            config = SystemConfig(l1_size_kb=64, coherence=fabric)
+            results = compare_designs(config, trace)
+            vipt_e, seesaw_e = (results["vipt"].energy,
+                                results["seesaw"].energy)
+            cpu_saving = vipt_e.l1_cpu_lookup_nj - seesaw_e.l1_cpu_lookup_nj
+            coh_saving = (vipt_e.l1_coherence_lookup_nj
+                          - seesaw_e.l1_coherence_lookup_nj)
+            total = max(cpu_saving + coh_saving, 1e-9)
+            rows.append([
+                name,
+                f"{results['seesaw'].coherence_probes}",
+                f"{coh_saving:.1f}",
+                f"{100 * coh_saving / total:.1f}%",
+            ])
+        reporter.table(
+            ["workload", "probes into L1s", "coherence saving (nJ)",
+             "share of lookup savings"],
+            rows, title=f"\nfabric: {fabric}")
+    reporter.add(
+        "\nThe snoopy fabric broadcasts every transaction, multiplying\n"
+        "probes — and each probe pays a 4-way partition read instead of\n"
+        "the baseline's full set, which is why the paper measured an\n"
+        "extra 2-5% energy win under snooping.")
+    reporter.emit()
+
+
+if __name__ == "__main__":
+    main()

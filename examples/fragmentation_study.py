@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fragmentation study: how OS memory pressure shapes SEESAW's benefit.
+
+Recreates the paper's §III-C + §VI-C storyline end to end:
+
+1. fragment physical memory with memhog at increasing intensities;
+2. watch the OS's transparent-huge-page allocator fall back to base pages
+   (the Fig. 3 coverage curve);
+3. watch SEESAW's runtime/energy benefit shrink — but survive — as
+   superpage-backed references become scarcer (Fig. 12).
+
+Run:
+    python examples/fragmentation_study.py
+"""
+
+from repro import (
+    SystemConfig,
+    build_trace,
+    compare_designs,
+    energy_improvement,
+    get_workload,
+    runtime_improvement,
+)
+from repro.analysis.report import Reporter
+
+WORKLOAD = "olio"
+MEMHOG_LEVELS = (0.0, 0.15, 0.3, 0.45, 0.6)
+
+
+def main() -> None:
+    trace = build_trace(get_workload(WORKLOAD), length=20_000, seed=42)
+    reporter = Reporter(f"Memory fragmentation vs SEESAW benefit "
+                        f"({WORKLOAD}, 64KB L1 @ 1.33GHz)")
+    rows = []
+    for level in MEMHOG_LEVELS:
+        config = SystemConfig(l1_size_kb=64, memhog_fraction=level)
+        results = compare_designs(config, trace)
+        seesaw = results["seesaw"]
+        rows.append([
+            f"memhog({level:.0%})",
+            f"{seesaw.footprint_superpage_fraction:.0%}",
+            f"{seesaw.superpage_reference_fraction:.0%}",
+            f"{seesaw.tft_hit_rate:.0%}",
+            f"{runtime_improvement(results):.2f}",
+            f"{energy_improvement(results):.2f}",
+        ])
+    reporter.table(
+        ["fragmentation", "footprint on 2MB", "refs to 2MB", "TFT hits",
+         "perf %", "energy %"],
+        rows)
+    reporter.add(
+        "\nReading the table: memhog pins physical memory in sub-2MB\n"
+        "holes, so the buddy allocator can no longer hand out aligned 2MB\n"
+        "blocks and the THP policy falls back to 4KB pages.  Fewer\n"
+        "superpage-backed references mean fewer TFT-confirmed fast L1\n"
+        "lookups — yet even under heavy pressure SEESAW keeps a positive\n"
+        "energy margin (coherence probes stay single-partition for base\n"
+        "pages too).")
+    reporter.emit()
+
+
+if __name__ == "__main__":
+    main()

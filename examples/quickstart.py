@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate SEESAW vs baseline VIPT on one workload.
+
+Builds the paper's default machine (out-of-order core, 32KB L1, 1.33GHz),
+runs the ``redis`` synthetic workload through both L1 designs on identical
+traces, and prints runtime/energy improvements plus the mechanism counters
+that explain them.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    SystemConfig,
+    build_trace,
+    compare_designs,
+    energy_improvement,
+    get_workload,
+    runtime_improvement,
+)
+
+
+def main() -> None:
+    # One trace, replayed through both designs so the comparison is exact.
+    trace = build_trace(get_workload("redis"), length=30_000, seed=42)
+
+    config = SystemConfig(
+        l1_design="seesaw",      # the design under test
+        l1_size_kb=32,           # 64 sets x 8 ways (the VIPT constraint)
+        frequency_ghz=1.33,
+        core="ooo",              # Sandybridge-like out-of-order model
+    )
+    results = compare_designs(config, trace, designs=("vipt", "seesaw"))
+    vipt, seesaw = results["vipt"], results["seesaw"]
+
+    print(f"workload: {trace.name}  ({len(trace)} references, "
+          f"{trace.instructions} instructions)")
+    print(f"superpage references: "
+          f"{seesaw.superpage_reference_fraction:.0%}")
+    print(f"TFT hit rate:         {seesaw.tft_hit_rate:.0%}")
+    print()
+    print(f"{'':>24}  {'VIPT':>12}  {'SEESAW':>12}")
+    print(f"{'runtime (cycles)':>24}  {vipt.runtime_cycles:>12,}  "
+          f"{seesaw.runtime_cycles:>12,}")
+    print(f"{'IPC':>24}  {vipt.ipc:>12.3f}  {seesaw.ipc:>12.3f}")
+    print(f"{'L1 hit rate':>24}  {vipt.l1_hit_rate:>12.3f}  "
+          f"{seesaw.l1_hit_rate:>12.3f}")
+    print(f"{'L1 ways probed':>24}  {vipt.l1_ways_probed:>12,}  "
+          f"{seesaw.l1_ways_probed:>12,}")
+    print(f"{'memory energy (nJ)':>24}  {vipt.total_energy_nj:>12,.0f}  "
+          f"{seesaw.total_energy_nj:>12,.0f}")
+    print()
+    print(f"runtime improvement: {runtime_improvement(results):.2f}%")
+    print(f"energy improvement:  {energy_improvement(results):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

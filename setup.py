@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+``pip install -e .`` needs ``wheel`` for PEP-517 editable installs; on
+offline machines ``python setup.py develop`` achieves the same using only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""SEESAW: Using Superpages to Improve VIPT Caches — full reproduction.
+
+A from-scratch Python implementation of the ISCA 2018 paper by Parasar,
+Bhattacharjee, and Krishna, together with every substrate its evaluation
+depends on: virtual memory with transparent superpages, TLB hierarchies,
+VIPT/PIPT/SEESAW L1 caches, MOESI coherence, trace-driven core timing
+models, an SRAM energy model, and a synthetic workload suite.
+
+Quickstart::
+
+    from repro import SystemConfig, run_workload
+
+    config = SystemConfig(l1_design="seesaw", l1_size_kb=32)
+    result = run_workload(config, "redis")
+    print(result.runtime_cycles, result.total_energy_nj)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
+that regenerate each of the paper's tables and figures.
+"""
+
+from repro.mem.address import PageSize
+from repro.mem.os_policy import MemoryManager, THPPolicy
+from repro.mem.physical import PhysicalMemory
+from repro.mem.fragmentation import Memhog, fragment_memory
+from repro.core.seesaw import SeesawL1Cache
+from repro.core.tft import TranslationFilterTable
+from repro.core.insertion import InsertionPolicy
+from repro.core.scheduling import HitSpeculationPolicy, SchedulerModel
+from repro.cache.vipt import ViptL1Cache, L1Timing
+from repro.cache.pipt import PiptL1Cache
+from repro.energy.sram import SRAMModel, table3_latencies
+from repro.sim.config import SystemConfig
+from repro.sim.system import SystemSimulator, simulate
+from repro.sim.experiment import (
+    compare_designs,
+    run_workload,
+    sweep,
+    summarize_improvements,
+    runtime_improvement,
+    energy_improvement,
+    min_avg_max,
+)
+from repro.workloads.suite import WORKLOADS, build_trace, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PageSize",
+    "MemoryManager",
+    "THPPolicy",
+    "PhysicalMemory",
+    "Memhog",
+    "fragment_memory",
+    "SeesawL1Cache",
+    "TranslationFilterTable",
+    "InsertionPolicy",
+    "HitSpeculationPolicy",
+    "SchedulerModel",
+    "ViptL1Cache",
+    "PiptL1Cache",
+    "L1Timing",
+    "SRAMModel",
+    "table3_latencies",
+    "SystemConfig",
+    "SystemSimulator",
+    "simulate",
+    "compare_designs",
+    "run_workload",
+    "sweep",
+    "summarize_improvements",
+    "runtime_improvement",
+    "energy_improvement",
+    "min_avg_max",
+    "WORKLOADS",
+    "build_trace",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Result formatting: render experiment output as paper-style tables."""
+
+from repro.analysis.report import (
+    format_table,
+    format_series,
+    format_min_avg_max,
+    Reporter,
+)
+
+__all__ = ["format_table", "format_series", "format_min_avg_max", "Reporter"]

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints every reproduced table/figure as an aligned
+text table with the same rows/series the paper reports, so paper-vs-measured
+comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Mapping[str, float],
+                  unit: str = "%", precision: int = 2) -> str:
+    """Render one named series (e.g. per-workload improvements)."""
+    cells = [f"{k}={v:.{precision}f}{unit}" for k, v in values.items()]
+    return f"{name}: " + "  ".join(cells)
+
+
+def format_min_avg_max(label: str,
+                       triple: Tuple[float, float, float],
+                       unit: str = "%") -> str:
+    """Render a (min, avg, max) summary the way the paper's bars do."""
+    lo, avg, hi = triple
+    return f"{label}: min={lo:.2f}{unit} avg={avg:.2f}{unit} max={hi:.2f}{unit}"
+
+
+class Reporter:
+    """Collects lines and prints them once — keeps benchmark output tidy."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._lines: List[str] = []
+
+    def add(self, text: str) -> None:
+        """Append a block of text to the report."""
+        self._lines.append(text)
+
+    def table(self, headers: Sequence[str],
+              rows: Iterable[Sequence[object]], title: str = "") -> None:
+        """Append a formatted table."""
+        self.add(format_table(headers, rows, title))
+
+    def emit(self) -> str:
+        """Print and return the full report."""
+        banner = "=" * len(self.title)
+        report = "\n".join([banner, self.title, banner, *self._lines, ""])
+        print(report)
+        return report

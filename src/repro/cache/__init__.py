@@ -1,0 +1,43 @@
+"""Cache substrate: generic set-associative caches, VIPT/PIPT L1 frontends,
+way prediction, and the L2/LLC/DRAM backing hierarchy.
+
+The SEESAW L1 itself lives in :mod:`repro.core`; this package provides the
+baseline designs it is compared against (paper Figs. 7-15) and the levels
+behind the L1.
+"""
+
+from repro.cache.replacement import (
+    ReplacementPolicy,
+    LRUPolicy,
+    TreePLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.basic import CacheLine, CacheSet, SetAssociativeCache, CacheStats
+from repro.cache.vipt import ViptL1Cache, L1AccessResult
+from repro.cache.pipt import PiptL1Cache
+from repro.cache.vivt import VivtL1Cache, SynonymStats
+from repro.cache.way_predictor import MRUWayPredictor, WayPredictorStats
+from repro.cache.hierarchy import MemoryHierarchy, HierarchyLevel, DRAMModel
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "TreePLRUPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "CacheLine",
+    "CacheSet",
+    "SetAssociativeCache",
+    "CacheStats",
+    "ViptL1Cache",
+    "PiptL1Cache",
+    "VivtL1Cache",
+    "SynonymStats",
+    "L1AccessResult",
+    "MRUWayPredictor",
+    "WayPredictorStats",
+    "MemoryHierarchy",
+    "HierarchyLevel",
+    "DRAMModel",
+]

@@ -1,0 +1,279 @@
+"""Generic physically-addressed set-associative cache.
+
+This is the building block for L2/LLC levels and for the MPKI study in
+Fig. 2a, where only hit/miss behaviour matters.  L1 frontends (VIPT, PIPT,
+SEESAW) layer indexing/tagging semantics and timing on top of the same
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+#: log2 of the cache line size; 64B lines -> 6 byte-offset bits.
+LINE_OFFSET_BITS = CACHE_LINE_SIZE.bit_length() - 1
+
+
+@dataclass
+class CacheLine:
+    """One cache line's bookkeeping (no data payload is modeled)."""
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    #: coherence state, one of "M","O","E","S","I" (used by L1s under MOESI)
+    state: str = "I"
+    #: physical line address (tag + index recombined), kept for write-back
+    #: and coherence bookkeeping.
+    line_address: int = 0
+    #: for SEESAW: whether the fill came from a superpage mapping.
+    from_superpage: bool = False
+
+    def reset(self) -> None:
+        """Return the line to the invalid state."""
+        self.valid = False
+        self.dirty = False
+        self.state = "I"
+        self.tag = 0
+        self.line_address = 0
+        self.from_superpage = False
+
+
+class CacheSet:
+    """One set: ``ways`` lines plus a replacement policy instance."""
+
+    __slots__ = ("lines", "policy")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
+        self.policy = policy
+
+    def find(self, tag: int, ways: Optional[Sequence[int]] = None
+             ) -> Optional[int]:
+        """Return the way holding ``tag`` among ``ways`` (default: all)."""
+        search = range(len(self.lines)) if ways is None else ways
+        for way in search:
+            line = self.lines[way]
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def first_invalid(self, ways: Optional[Sequence[int]] = None
+                      ) -> Optional[int]:
+        """Return the first invalid way among ``ways`` (default: all)."""
+        search = range(len(self.lines)) if ways is None else ways
+        for way in search:
+            if not self.lines[way].valid:
+                return way
+        return None
+
+
+@dataclass
+class CacheStats:
+    """Access counters common to every cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    #: total ways probed across all lookups — the quantity SEESAW reduces
+    #: and the basis of dynamic lookup-energy accounting.
+    ways_probed: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given an instruction count."""
+        return 1000.0 * self.misses / instructions if instructions else 0.0
+
+
+#: Callback receiving (line_address, dirty) when a line leaves the cache.
+EvictionHook = Callable[[int, bool], None]
+
+
+class SetAssociativeCache:
+    """Physically-addressed set-associative cache with configurable policy.
+
+    Addresses are byte addresses; lines are 64B.  Only metadata is tracked.
+
+    Args:
+        size_bytes: total capacity.
+        ways: associativity (``1`` = direct-mapped).
+        line_size: line size in bytes (default 64).
+        replacement: ``lru`` | ``plru`` | ``random``.
+        name: label for reporting.
+    """
+
+    def __init__(self, size_bytes: int, ways: int,
+                 line_size: int = CACHE_LINE_SIZE,
+                 replacement: str = "lru", name: str = "cache",
+                 seed: int = 0) -> None:
+        if size_bytes % (ways * line_size):
+            raise ValueError("size must be a multiple of ways * line_size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.offset_bits = line_size.bit_length() - 1
+        self.index_bits = self.num_sets.bit_length() - 1
+        self.stats = CacheStats()
+        self.replacement = replacement
+        self.seed = seed
+        # Sets are materialized lazily: a 24MB LLC has ~25k sets and most
+        # simulations touch a small fraction of them.
+        self._sets: Dict[int, CacheSet] = {}
+        self._eviction_hooks: List[EvictionHook] = []
+
+    def set_at(self, index: int) -> CacheSet:
+        """The :class:`CacheSet` at ``index`` (created on first use)."""
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = CacheSet(
+                self.ways,
+                make_policy(self.replacement, self.ways,
+                            seed=self.seed + index))
+            self._sets[index] = cache_set
+        return cache_set
+
+    # ---------------------------------------------------------------- hooks
+
+    def register_eviction_hook(self, hook: EvictionHook) -> None:
+        """Called with (line_address, dirty) whenever a valid line is evicted."""
+        self._eviction_hooks.append(hook)
+
+    def _fire_eviction(self, line: CacheLine) -> None:
+        for hook in self._eviction_hooks:
+            hook(line.line_address, line.dirty)
+
+    # ------------------------------------------------------------- indexing
+
+    def set_index(self, address: int) -> int:
+        """Set index of a byte address."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag_of(self, address: int) -> int:
+        """Tag of a byte address (all bits above the index)."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def line_address(self, address: int) -> int:
+        """Line-aligned address."""
+        return address & ~(self.line_size - 1)
+
+    # ------------------------------------------------------------------ API
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Look up ``address``; on miss, fill it. Returns True on hit.
+
+        This is the simple interface used for MPKI studies and non-L1
+        levels; timing-aware frontends use :meth:`probe` / :meth:`fill`.
+        """
+        hit = self.probe(address, is_write=is_write)
+        if not hit:
+            self.fill(address, dirty=is_write)
+        return hit
+
+    def probe(self, address: int, is_write: bool = False) -> bool:
+        """Look up without filling. Returns True on hit; updates stats/LRU."""
+        cache_set = self.set_at(self.set_index(address))
+        tag = self.tag_of(address)
+        self.stats.ways_probed += self.ways
+        way = cache_set.find(tag)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        cache_set.policy.touch(way)
+        if is_write:
+            cache_set.lines[way].dirty = True
+        self.stats.hits += 1
+        return True
+
+    def fill(self, address: int, dirty: bool = False,
+             from_superpage: bool = False,
+             candidate_ways: Optional[Sequence[int]] = None) -> CacheLine:
+        """Install ``address``, evicting if necessary. Returns the line.
+
+        Filling an address that is already resident refreshes the existing
+        line in place — a cache never holds two copies of one tag.
+        """
+        cache_set = self.set_at(self.set_index(address))
+        existing = cache_set.find(self.tag_of(address))
+        if existing is not None:
+            line = cache_set.lines[existing]
+            line.dirty = line.dirty or dirty
+            line.from_superpage = from_superpage
+            cache_set.policy.touch(existing)
+            return line
+        way = cache_set.first_invalid(candidate_ways)
+        if way is None:
+            candidates = (list(range(self.ways)) if candidate_ways is None
+                          else list(candidate_ways))
+            way = cache_set.policy.victim(candidates)
+            victim = cache_set.lines[way]
+            if victim.valid:
+                self.stats.evictions += 1
+                if victim.dirty:
+                    self.stats.writebacks += 1
+                self._fire_eviction(victim)
+        line = cache_set.lines[way]
+        line.tag = self.tag_of(address)
+        line.valid = True
+        line.dirty = dirty
+        line.state = "M" if dirty else "E"
+        line.line_address = self.line_address(address)
+        line.from_superpage = from_superpage
+        cache_set.policy.touch(way)
+        self.stats.fills += 1
+        return line
+
+    def contains(self, address: int) -> bool:
+        """Non-perturbing presence check."""
+        cache_set = self.set_at(self.set_index(address))
+        return cache_set.find(self.tag_of(address)) is not None
+
+    def invalidate_line(self, address: int) -> Optional[CacheLine]:
+        """Invalidate the line holding ``address`` (coherence/sweeps).
+
+        Returns a copy-like reference to the line *before* reset, or None.
+        """
+        cache_set = self.set_at(self.set_index(address))
+        way = cache_set.find(self.tag_of(address))
+        if way is None:
+            return None
+        line = cache_set.lines[way]
+        evicted = CacheLine(tag=line.tag, valid=True, dirty=line.dirty,
+                            state=line.state, line_address=line.line_address,
+                            from_superpage=line.from_superpage)
+        line.reset()
+        return evicted
+
+    def valid_lines(self) -> int:
+        """Number of valid lines (for occupancy checks in tests)."""
+        return sum(1 for s in self._sets.values()
+                   for line in s.lines if line.valid)
+
+    def iter_valid_lines(self) -> "list[Tuple[int, int, CacheLine]]":
+        """List of (set index, way, line) for every valid line."""
+        out = []
+        for index, cache_set in sorted(self._sets.items()):
+            for way, line in enumerate(cache_set.lines):
+                if line.valid:
+                    out.append((index, way, line))
+        return out

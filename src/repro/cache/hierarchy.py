@@ -1,0 +1,107 @@
+"""The memory hierarchy behind the L1: L2 cache, shared LLC, and DRAM.
+
+Paper Table II: unified 24MB LLC, 4GB DRAM with 51ns round-trip.  The
+hierarchy provides miss service latency and per-access energy events for
+the accounting layer; its caches are plain physically-addressed
+set-associative structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.basic import SetAssociativeCache
+
+
+@dataclass
+class DRAMModel:
+    """Fixed-latency DRAM (paper: 51ns round trip).
+
+    Latency in cycles depends on core frequency; the hierarchy converts.
+    """
+
+    round_trip_ns: float = 51.0
+    accesses: int = 0
+
+    def latency_cycles(self, frequency_ghz: float) -> int:
+        """Round-trip latency in core cycles at ``frequency_ghz``."""
+        return max(1, round(self.round_trip_ns * frequency_ghz))
+
+
+@dataclass
+class HierarchyLevel:
+    """One cache level behind the L1."""
+
+    cache: SetAssociativeCache
+    hit_latency_cycles: int
+
+    @property
+    def name(self) -> str:
+        return self.cache.name
+
+
+@dataclass
+class MissServiceResult:
+    """Where a miss was serviced and what it cost."""
+
+    latency_cycles: int
+    serviced_by: str           # "l2", "llc", or "dram"
+    l2_accessed: bool = False
+    llc_accessed: bool = False
+    dram_accessed: bool = False
+
+
+class MemoryHierarchy:
+    """L2 → LLC → DRAM service path for L1 misses.
+
+    Args:
+        frequency_ghz: core frequency (converts DRAM ns to cycles).
+        l2_size / l2_ways / l2_latency: private L2 (0 size disables — the
+            paper's Table II lists only an LLC behind the L1s, so the
+            default hierarchy is LLC + DRAM).
+        llc_size / llc_ways / llc_latency: shared last-level cache.
+    """
+
+    def __init__(self, frequency_ghz: float = 1.33,
+                 l2_size: int = 0, l2_ways: int = 8, l2_latency: int = 12,
+                 llc_size: int = 24 * 1024 * 1024, llc_ways: int = 16,
+                 llc_latency: int = 30, seed: int = 0) -> None:
+        self.frequency_ghz = frequency_ghz
+        self.levels: List[HierarchyLevel] = []
+        if l2_size:
+            self.levels.append(HierarchyLevel(
+                SetAssociativeCache(l2_size, l2_ways, name="l2", seed=seed),
+                l2_latency))
+        if llc_size:
+            self.levels.append(HierarchyLevel(
+                SetAssociativeCache(llc_size, llc_ways, name="llc",
+                                    seed=seed + 1),
+                llc_latency))
+        self.dram = DRAMModel()
+
+    def service_miss(self, physical_address: int,
+                     is_write: bool = False) -> MissServiceResult:
+        """Service an L1 miss; fills every level the request passed through."""
+        latency = 0
+        touched = {"l2": False, "llc": False, "dram": False}
+        for level in self.levels:
+            latency += level.hit_latency_cycles
+            touched[level.name] = True
+            if level.cache.access(physical_address, is_write=is_write):
+                return MissServiceResult(
+                    latency_cycles=latency, serviced_by=level.name,
+                    l2_accessed=touched["l2"], llc_accessed=touched["llc"])
+        latency += self.dram.latency_cycles(self.frequency_ghz)
+        self.dram.accesses += 1
+        return MissServiceResult(
+            latency_cycles=latency, serviced_by="dram",
+            l2_accessed=touched["l2"], llc_accessed=touched["llc"],
+            dram_accessed=True)
+
+    def writeback(self, physical_address: int) -> None:
+        """Accept a dirty eviction from the L1 into the nearest level."""
+        if self.levels:
+            self.levels[0].cache.access(physical_address, is_write=True)
+        else:
+            self.dram.accesses += 1

@@ -1,0 +1,94 @@
+"""Physically-indexed, physically-tagged (PIPT) L1 alternative.
+
+The paper's Fig. 14 compares SEESAW against "other approaches" at large
+cache sizes: converting the L1 to PIPT frees the set count from the page
+offset (any associativity becomes possible, so lookup can be fast again) but
+serializes the TLB before the cache — every access pays the translation
+latency up front (paper Fig. 1a).
+"""
+
+from __future__ import annotations
+
+from repro.mem.address import CACHE_LINE_SIZE, PageSize
+from repro.cache.basic import CacheLine, SetAssociativeCache
+from repro.cache.vipt import CoherenceProbeResult, L1AccessResult, L1Timing
+
+
+class PiptL1Cache:
+    """PIPT L1: free choice of sets/ways, TLB serialized before lookup.
+
+    Args:
+        size_bytes: capacity.
+        ways: associativity (unconstrained — the PIPT advantage).
+        hit_cycles: cache-array lookup latency for this (size, ways) point.
+        tlb_latency: added to *every* access since translation must finish
+            before indexing (the PIPT penalty).
+    """
+
+    def __init__(self, size_bytes: int, ways: int, hit_cycles: int,
+                 tlb_latency: int = 1, name: str = "pipt-l1",
+                 seed: int = 0) -> None:
+        self.timing = L1Timing(base_hit_cycles=hit_cycles,
+                               super_hit_cycles=hit_cycles)
+        self.tlb_latency = tlb_latency
+        self.name = name
+        self.store = SetAssociativeCache(
+            size_bytes, ways, replacement="lru", name=name, seed=seed)
+
+    @property
+    def ways(self) -> int:
+        return self.store.ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.store.size_bytes
+
+    @property
+    def stats(self):
+        return self.store.stats
+
+    def access(self, virtual_address: int, physical_address: int,
+               page_size: PageSize, is_write: bool = False) -> L1AccessResult:
+        """CPU lookup: translation latency is serialized before the array."""
+        hit = self.store.probe(physical_address, is_write=is_write)
+        latency = self.tlb_latency + self.timing.base_hit_cycles
+        return L1AccessResult(
+            hit=hit,
+            latency_cycles=latency,
+            ways_probed=self.ways,
+            page_size=page_size,
+            miss_detect_cycles=(self.tlb_latency
+                                + self.timing.miss_detect_cycles()),
+        )
+
+    def fill(self, physical_address: int, page_size: PageSize,
+             dirty: bool = False) -> CacheLine:
+        """Install a line after the next level services a miss."""
+        return self.store.fill(physical_address, dirty=dirty,
+                               from_superpage=page_size.is_superpage)
+
+    def coherence_probe(self, physical_address: int,
+                        invalidate: bool = False) -> CoherenceProbeResult:
+        """Coherence probe: indexes directly with the PA, probes all ways."""
+        self.store.stats.ways_probed += self.ways
+        cache_set = self.store.set_at(
+            self.store.set_index(physical_address))
+        way = cache_set.find(self.store.tag_of(physical_address))
+        if way is None:
+            return CoherenceProbeResult(present=False, ways_probed=self.ways)
+        line = cache_set.lines[way]
+        dirty = line.dirty
+        if invalidate:
+            line.reset()
+        return CoherenceProbeResult(present=True, ways_probed=self.ways,
+                                    dirty=dirty, invalidated=invalidate)
+
+    def sweep_virtual_range(self, virtual_base: int, length: int,
+                            translate) -> int:
+        """Shared promotion-sweep interface (see ViptL1Cache)."""
+        evicted = 0
+        for offset in range(0, length, CACHE_LINE_SIZE):
+            pa = translate(virtual_base + offset)
+            if pa is not None and self.store.invalidate_line(pa):
+                evicted += 1
+        return evicted

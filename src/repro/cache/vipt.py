@@ -1,0 +1,167 @@
+"""Baseline virtually-indexed, physically-tagged (VIPT) L1 data cache.
+
+The baseline the paper compares against (Fig. 1c): the set index must fit in
+the 4KB page offset, so with 64B lines the cache has at most 64 sets and is
+grown by adding ways (32KB→8w, 64KB→16w, 128KB→32w).  Because the index bits
+lie inside the page offset, the virtual and physical index are identical and
+the cache can be modeled as physically addressed; the *tags* are physical.
+
+Every lookup probes all ways of the selected set — the latency and energy
+cost SEESAW attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.mem.address import PAGE_SIZE_4KB, CACHE_LINE_SIZE, PageSize
+from repro.cache.basic import CacheLine, SetAssociativeCache
+
+
+@dataclass
+class L1AccessResult:
+    """Outcome of one CPU-side L1 lookup (timing + energy inputs)."""
+
+    hit: bool
+    latency_cycles: int
+    ways_probed: int
+    page_size: PageSize
+    #: True when the lookup completed with the reduced (partitioned) probe.
+    fast_path: bool = False
+    #: TFT outcome for SEESAW caches (None for designs without a TFT).
+    tft_hit: Optional[bool] = None
+    #: way-prediction outcome when a way predictor is attached.
+    way_prediction_correct: Optional[bool] = None
+    #: cycles until a miss is declared and the next level can be probed.
+    #: Per the paper's Table I, a TFT-hit miss in SEESAW saves *energy*,
+    #: not latency: miss detection completes at the design's full *tag
+    #: path* — the quoted load-to-use latency covers data array + way
+    #: select + aligners, while tag comparison (which is all a miss needs)
+    #: finishes earlier.
+    miss_detect_cycles: int = 0
+
+
+@dataclass
+class CoherenceProbeResult:
+    """Outcome of a coherence (physical-address) probe into the L1."""
+
+    present: bool
+    ways_probed: int
+    dirty: bool = False
+    invalidated: bool = False
+
+
+@dataclass
+class L1Timing:
+    """Hit latencies for an L1 configuration (paper Table III row).
+
+    ``base_hit_cycles`` is the full-associativity lookup (all ways);
+    ``super_hit_cycles`` is the partitioned lookup SEESAW achieves for
+    TFT-confirmed superpage accesses.  Baseline designs use only the former.
+    """
+
+    base_hit_cycles: int
+    super_hit_cycles: int
+    tft_cycles: int = 1
+
+    #: fraction of the load-to-use latency at which the tag comparison —
+    #: and hence miss detection — completes (the rest is data mux/align).
+    TAG_PATH_FRACTION = 0.55
+
+    def miss_detect_cycles(self, lookup_cycles: int = None) -> int:
+        """Cycles until a miss is declared for a lookup of the given
+        load-to-use latency (defaults to the full base lookup)."""
+        lookup = (self.base_hit_cycles if lookup_cycles is None
+                  else lookup_cycles)
+        return max(1, round(lookup * self.TAG_PATH_FRACTION))
+
+
+class ViptL1Cache:
+    """Baseline VIPT L1: index from page-offset bits, probe all ways.
+
+    Args:
+        size_bytes: capacity; with 64B lines the set count is fixed at
+            ``4096 / 64 = 64`` by the VIPT constraint, so associativity is
+            ``size_bytes / 4096``.
+        timing: hit latencies (Table III).
+        name: reporting label.
+    """
+
+    #: VIPT constraint: index + byte-offset bits must fit in the 4KB offset.
+    MAX_SETS = PAGE_SIZE_4KB // CACHE_LINE_SIZE
+
+    def __init__(self, size_bytes: int, timing: L1Timing,
+                 name: str = "vipt-l1", seed: int = 0) -> None:
+        ways = size_bytes // (self.MAX_SETS * CACHE_LINE_SIZE)
+        if ways < 1:
+            raise ValueError("cache smaller than one way per VIPT set")
+        self.timing = timing
+        self.name = name
+        self.store = SetAssociativeCache(
+            size_bytes, ways, replacement="lru", name=name, seed=seed)
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def ways(self) -> int:
+        return self.store.ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.store.size_bytes
+
+    @property
+    def stats(self):
+        return self.store.stats
+
+    # ------------------------------------------------------------------- API
+
+    def access(self, virtual_address: int, physical_address: int,
+               page_size: PageSize, is_write: bool = False) -> L1AccessResult:
+        """CPU-side lookup. All ways of the indexed set are probed."""
+        hit = self.store.probe(physical_address, is_write=is_write)
+        return L1AccessResult(
+            hit=hit,
+            latency_cycles=self.timing.base_hit_cycles,
+            ways_probed=self.ways,
+            page_size=page_size,
+            miss_detect_cycles=self.timing.miss_detect_cycles(),
+        )
+
+    def fill(self, physical_address: int, page_size: PageSize,
+             dirty: bool = False) -> CacheLine:
+        """Install a line after a miss is serviced by the next level."""
+        return self.store.fill(physical_address, dirty=dirty,
+                               from_superpage=page_size.is_superpage)
+
+    def coherence_probe(self, physical_address: int,
+                        invalidate: bool = False) -> CoherenceProbeResult:
+        """Coherence lookup by physical address: probes all ways (baseline)."""
+        self.store.stats.ways_probed += self.ways
+        cache_set = self.store.set_at(
+            self.store.set_index(physical_address))
+        way = cache_set.find(self.store.tag_of(physical_address))
+        if way is None:
+            return CoherenceProbeResult(present=False, ways_probed=self.ways)
+        line = cache_set.lines[way]
+        dirty = line.dirty
+        if invalidate:
+            line.reset()
+        return CoherenceProbeResult(present=True, ways_probed=self.ways,
+                                    dirty=dirty, invalidated=invalidate)
+
+    def sweep_virtual_range(self, virtual_base: int, length: int,
+                            translate) -> int:
+        """Evict all lines of a virtual range (page-promotion sweep).
+
+        ``translate`` maps VA → PA for each line.  Returns lines evicted.
+        Baseline VIPT never strictly needs this, but the interface is shared
+        with SEESAW so promotion handling is uniform.
+        """
+        evicted = 0
+        for offset in range(0, length, CACHE_LINE_SIZE):
+            pa = translate(virtual_base + offset)
+            if pa is not None and self.store.invalidate_line(pa):
+                evicted += 1
+        return evicted

@@ -1,0 +1,187 @@
+"""Virtually-indexed, virtually-tagged (VIVT) L1 — the §VII alternative.
+
+VIVT caches decouple the L1 from the TLB entirely: both index and tag come
+from the virtual address, so no translation is needed before a hit.  The
+cost is the machinery the paper's related-work section describes:
+
+* **synonyms** — two virtual addresses mapping to one physical line may be
+  cached twice; stores must find and fix every alias.  We model the
+  standard solution, a reverse-map *synonym filter* that tracks, per
+  physical line, the virtual tags cached for it, and charges extra probes
+  whenever a store or coherence request touches an aliased line.
+* **coherence** — probes carry physical addresses, so every probe consults
+  the reverse map before it can find the line.
+* **context switches** — without ASID tags the whole cache is flushed.
+
+This design exists here as a comparator: it beats VIPT on hit latency
+(no TLB on the hit path at all) but pays synonym-management energy and
+flush costs — the trade-off that keeps VIPT "more commonly used in
+real-world products" (paper §I).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.mem.address import CACHE_LINE_SIZE, PageSize
+from repro.cache.basic import CacheLine, SetAssociativeCache
+from repro.cache.vipt import CoherenceProbeResult, L1AccessResult, L1Timing
+
+
+@dataclass
+class SynonymStats:
+    """Synonym-management accounting."""
+
+    synonym_installs: int = 0     # second+ virtual alias of a physical line
+    synonym_fixups: int = 0       # store hit had to invalidate aliases
+    reverse_map_probes: int = 0   # coherence lookups through the map
+    flushes: int = 0
+
+
+class VivtL1Cache:
+    """VIVT L1 with a reverse-map synonym filter.
+
+    Args:
+        size_bytes: capacity; sets/ways are unconstrained (the VIVT
+            advantage — index bits need not fit the page offset).
+        ways: associativity.
+        hit_cycles: array lookup latency (no TLB serialization at all).
+    """
+
+    def __init__(self, size_bytes: int, ways: int, hit_cycles: int,
+                 name: str = "vivt-l1", seed: int = 0) -> None:
+        self.timing = L1Timing(base_hit_cycles=hit_cycles,
+                               super_hit_cycles=hit_cycles)
+        self.name = name
+        self.store = SetAssociativeCache(
+            size_bytes, ways, replacement="lru", name=name, seed=seed)
+        self.synonym_stats = SynonymStats()
+        # physical line -> set of cached *virtual* line addresses.
+        self._reverse: Dict[int, Set[int]] = defaultdict(set)
+        # virtual line -> physical line (so evictions clean the map).
+        self._forward: Dict[int, int] = {}
+        # Conflict evictions must clean the synonym filter too.
+        self.store.register_eviction_hook(
+            lambda vline, dirty: self._drop_mapping(vline))
+
+    @property
+    def ways(self) -> int:
+        return self.store.ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.store.size_bytes
+
+    @property
+    def stats(self):
+        return self.store.stats
+
+    # ------------------------------------------------------------------- API
+
+    def access(self, virtual_address: int, physical_address: int,
+               page_size: PageSize, is_write: bool = False) -> L1AccessResult:
+        """CPU lookup by virtual address — no translation on the hit path.
+
+        Stores to aliased physical lines must invalidate the other virtual
+        copies (the synonym problem); each fixup costs extra probes, which
+        is charged through ``ways_probed``.
+        """
+        hit = self.store.probe(virtual_address, is_write=is_write)
+        ways_probed = self.ways
+        if is_write and hit:
+            ways_probed += self._fix_synonyms(virtual_address,
+                                              physical_address)
+        return L1AccessResult(
+            hit=hit,
+            latency_cycles=self.timing.base_hit_cycles,
+            ways_probed=ways_probed,
+            page_size=page_size,
+            miss_detect_cycles=self.timing.miss_detect_cycles(),
+        )
+
+    def _fix_synonyms(self, virtual_address: int,
+                      physical_address: int) -> int:
+        """Invalidate other virtual aliases of the written physical line.
+
+        Returns extra ways probed (one set probe per alias).
+        """
+        vline = self.store.line_address(virtual_address)
+        pline = physical_address & ~(CACHE_LINE_SIZE - 1)
+        aliases = self._reverse.get(pline, set()) - {vline}
+        extra = 0
+        for alias in list(aliases):
+            self.store.invalidate_line(alias)
+            self._drop_mapping(alias)
+            extra += self.ways
+            self.synonym_stats.synonym_fixups += 1
+        return extra
+
+    def fill(self, virtual_address: int, physical_address: int,
+             page_size: PageSize, dirty: bool = False) -> CacheLine:
+        """Install a line under its *virtual* address, tracking the alias
+        in the reverse map."""
+        vline = self.store.line_address(virtual_address)
+        pline = physical_address & ~(CACHE_LINE_SIZE - 1)
+        line = self.store.fill(virtual_address, dirty=dirty,
+                               from_superpage=page_size.is_superpage)
+        if self._reverse[pline] - {vline}:
+            self.synonym_stats.synonym_installs += 1
+        self._reverse[pline].add(vline)
+        self._forward[vline] = pline
+        return line
+
+    def _drop_mapping(self, vline: int) -> None:
+        pline = self._forward.pop(vline, None)
+        if pline is not None:
+            aliases = self._reverse.get(pline)
+            if aliases is not None:
+                aliases.discard(vline)
+                if not aliases:
+                    del self._reverse[pline]
+
+    def coherence_probe(self, physical_address: int,
+                        invalidate: bool = False) -> CoherenceProbeResult:
+        """Coherence by physical address must go through the reverse map —
+        one cache probe per cached virtual alias."""
+        pline = physical_address & ~(CACHE_LINE_SIZE - 1)
+        self.synonym_stats.reverse_map_probes += 1
+        aliases = list(self._reverse.get(pline, ()))
+        present = False
+        dirty = False
+        ways_probed = max(self.ways, self.ways * len(aliases))
+        self.store.stats.ways_probed += ways_probed
+        for alias in aliases:
+            cache_set = self.store.set_at(self.store.set_index(alias))
+            way = cache_set.find(self.store.tag_of(alias))
+            if way is None:
+                continue
+            present = True
+            dirty = dirty or cache_set.lines[way].dirty
+            if invalidate:
+                cache_set.lines[way].reset()
+                self._drop_mapping(alias)
+        return CoherenceProbeResult(present=present, ways_probed=ways_probed,
+                                    dirty=dirty, invalidated=invalidate)
+
+    def flush(self) -> int:
+        """Context-switch flush (no ASID tags). Returns lines dropped."""
+        dropped = self.store.valid_lines()
+        for _, _, line in self.store.iter_valid_lines():
+            line.reset()
+        self._reverse.clear()
+        self._forward.clear()
+        self.synonym_stats.flushes += 1
+        return dropped
+
+    def sweep_virtual_range(self, virtual_base: int, length: int,
+                            translate) -> int:
+        """Shared sweep interface — VIVT sweeps directly by VA."""
+        evicted = 0
+        for offset in range(0, length, CACHE_LINE_SIZE):
+            va = virtual_base + offset
+            if self.store.invalidate_line(va):
+                self._drop_mapping(self.store.line_address(va))
+                evicted += 1
+        return evicted

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``workloads``  — list the synthetic workload suite;
+* ``run``        — simulate one workload under one design and print the
+  result counters;
+* ``compare``    — run SEESAW against a baseline on identical traces and
+  print runtime/energy improvements;
+* ``sweep``      — the compare, across several workloads;
+* ``table3``     — print the paper's Table III latency configurations.
+
+Every command accepts ``--seed`` and ``--length`` so results are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.energy.sram import TABLE3
+from repro.sim.config import SystemConfig
+from repro.sim.experiment import (
+    compare_designs,
+    energy_improvement,
+    runtime_improvement,
+)
+from repro.sim.system import simulate
+from repro.workloads.suite import WORKLOADS, build_trace, get_workload
+
+DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", choices=DESIGNS, default="seesaw",
+                        help="L1 design under test")
+    parser.add_argument("--size-kb", type=int, default=32,
+                        choices=(32, 64, 128), help="L1 capacity")
+    parser.add_argument("--freq", type=float, default=1.33,
+                        help="core frequency in GHz")
+    parser.add_argument("--core", choices=("ooo", "inorder"), default="ooo",
+                        help="core timing model")
+    parser.add_argument("--memhog", type=float, default=0.0,
+                        help="memhog fraction (0..0.75)")
+    parser.add_argument("--way-prediction", action="store_true",
+                        help="attach an MRU way predictor")
+    parser.add_argument("--length", type=int, default=30_000,
+                        help="trace length in references")
+    parser.add_argument("--seed", type=int, default=42, help="RNG seed")
+
+
+def _config_from_args(args: argparse.Namespace,
+                      design: Optional[str] = None) -> SystemConfig:
+    return SystemConfig(
+        l1_design=design or args.design,
+        l1_size_kb=args.size_kb,
+        frequency_ghz=args.freq,
+        core=args.core,
+        memhog_fraction=args.memhog,
+        way_prediction=args.way_prediction,
+        seed=args.seed,
+    )
+
+
+def _result_row(result) -> dict:
+    return {
+        "workload": result.workload,
+        "runtime_cycles": result.runtime_cycles,
+        "ipc": round(result.ipc, 4),
+        "l1_hit_rate": round(result.l1_hit_rate, 4),
+        "l1_mpki": round(result.l1_mpki, 2),
+        "energy_nj": round(result.total_energy_nj, 1),
+        "superpage_refs": round(result.superpage_reference_fraction, 4),
+        "tft_hit_rate": round(result.tft_hit_rate, 4),
+    }
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [[name, spec.footprint_bytes // 1024, spec.threads,
+             f"{spec.write_fraction:.2f}", spec.description]
+            for name, spec in WORKLOADS.items()]
+    print(format_table(
+        ["name", "footprint(KB)", "threads", "writes", "description"],
+        rows, title="Workload suite"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace = build_trace(get_workload(args.workload), length=args.length,
+                        seed=args.seed)
+    result = simulate(_config_from_args(args), trace)
+    payload = _result_row(result)
+    payload["config"] = _config_from_args(args).describe()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(["metric", "value"],
+                           [[k, v] for k, v in payload.items()],
+                           title=f"run: {args.workload}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = build_trace(get_workload(args.workload), length=args.length,
+                        seed=args.seed)
+    results = compare_designs(_config_from_args(args), trace,
+                              designs=(args.baseline, args.design))
+    runtime = runtime_improvement(results, args.baseline, args.design)
+    energy = energy_improvement(results, args.baseline, args.design)
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "baseline": _result_row(results[args.baseline]),
+            "candidate": _result_row(results[args.design]),
+            "runtime_improvement_pct": round(runtime, 3),
+            "energy_improvement_pct": round(energy, 3),
+        }, indent=2))
+    else:
+        print(f"{args.workload}: {args.design} vs {args.baseline} — "
+              f"runtime +{runtime:.2f}%, energy +{energy:.2f}%")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    names = args.workloads or list(WORKLOADS)
+    rows = []
+    for name in names:
+        trace = build_trace(get_workload(name), length=args.length,
+                            seed=args.seed)
+        results = compare_designs(_config_from_args(args), trace,
+                                  designs=(args.baseline, args.design))
+        rows.append([name,
+                     f"{runtime_improvement(results, args.baseline, args.design):.2f}",
+                     f"{energy_improvement(results, args.baseline, args.design):.2f}"])
+    print(format_table(
+        ["workload", "runtime %", "energy %"], rows,
+        title=f"{args.design} vs {args.baseline} "
+              f"({args.size_kb}KB @ {args.freq}GHz, {args.core})"))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    rows = [[f"{size}KB", f"{freq:.2f}GHz", tft, base, super_]
+            for (size, freq), (tft, base, super_) in sorted(TABLE3.items())]
+    print(format_table(
+        ["cache", "frequency", "TFT", "base-page", "superpage"],
+        rows, title="Table III — L1 access latencies (cycles)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEESAW (ISCA 2018) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload suite")
+    sub.add_parser("table3", help="print the Table III configurations")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--json", action="store_true")
+    _add_machine_arguments(run)
+
+    compare = sub.add_parser("compare",
+                             help="compare a design against a baseline")
+    compare.add_argument("workload", choices=sorted(WORKLOADS))
+    compare.add_argument("--baseline", choices=DESIGNS, default="vipt")
+    compare.add_argument("--json", action="store_true")
+    _add_machine_arguments(compare)
+
+    sweep = sub.add_parser("sweep", help="compare across workloads")
+    sweep.add_argument("--workloads", nargs="*",
+                       choices=sorted(WORKLOADS), default=None)
+    sweep.add_argument("--baseline", choices=DESIGNS, default="vipt")
+    _add_machine_arguments(sweep)
+    return parser
+
+
+#: command name -> handler
+_HANDLERS = {
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "table3": cmd_table3,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

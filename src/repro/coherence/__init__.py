@@ -1,0 +1,24 @@
+"""Cache coherence substrate: MOESI protocol, directory, and snoopy bus.
+
+Coherence lookups are the third lookup class SEESAW optimizes (paper §I
+item 3 and §IV-C1): they carry physical addresses, and under the ``4way``
+insertion policy they probe a single partition instead of the whole set —
+for base pages and superpages alike.  The directory variant (the paper's
+Table II lists MOESI directory coherence) filters spurious probes through
+its sharer lists; the snoopy variant broadcasts, which is why the paper
+measured an extra 2-5% energy win for SEESAW under snooping.
+"""
+
+from repro.coherence.protocol import MoesiState, ProtocolEvent, next_state
+from repro.coherence.directory import Directory, DirectoryStats
+from repro.coherence.snoop import SnoopyBus, SnoopStats
+
+__all__ = [
+    "MoesiState",
+    "ProtocolEvent",
+    "next_state",
+    "Directory",
+    "DirectoryStats",
+    "SnoopyBus",
+    "SnoopStats",
+]

@@ -1,0 +1,136 @@
+"""Directory-based MOESI coherence over per-core L1 caches.
+
+The directory tracks, per physical line, which cores hold a copy and which
+(if any) owns it dirty.  CPU reads/writes consult the directory; only the
+cores on the sharer list receive probes — "the coherence directory
+eliminates many spurious L1 cache coherence lookups" (paper §VI-B).  Each
+probe lands in the target L1 via its ``coherence_probe`` method, so SEESAW's
+single-partition coherence lookup is exercised naturally and its energy
+recorded by the accounting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.coherence.protocol import MoesiState
+
+#: Called for every probe delivered to a core's L1:
+#: (core id, ways probed) — the hook the energy accountant registers.
+ProbeListener = Callable[[int, int], None]
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharer bookkeeping for one physical line."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None  # core holding the line M/O (dirty)
+
+
+@dataclass
+class DirectoryStats:
+    """Transaction and probe counters (Fig. 11 inputs)."""
+
+    read_transactions: int = 0
+    write_transactions: int = 0
+    probes_sent: int = 0
+    invalidations_sent: int = 0
+    owner_forwards: int = 0
+    writebacks_collected: int = 0
+
+
+class Directory:
+    """A full-map directory over ``caches`` (one L1 frontend per core).
+
+    The caches need only expose ``coherence_probe(pa, invalidate=...)``;
+    baseline VIPT, PIPT, and SEESAW L1s all qualify, so the same directory
+    drives every design point.
+    """
+
+    def __init__(self, caches: List, line_size: int = 64) -> None:
+        self.caches = caches
+        self.line_size = line_size
+        self.stats = DirectoryStats()
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._probe_listeners: List[ProbeListener] = []
+
+    def register_probe_listener(self, listener: ProbeListener) -> None:
+        """Observe every delivered probe (core id, ways probed)."""
+        self._probe_listeners.append(listener)
+
+    def _line(self, physical_address: int) -> int:
+        return physical_address & ~(self.line_size - 1)
+
+    def _entry(self, line: int) -> DirectoryEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line] = entry
+        return entry
+
+    def _deliver_probe(self, core: int, line: int, invalidate: bool) -> None:
+        result = self.caches[core].coherence_probe(line, invalidate=invalidate)
+        self.stats.probes_sent += 1
+        if invalidate:
+            self.stats.invalidations_sent += 1
+            if result.present and result.dirty:
+                self.stats.writebacks_collected += 1
+        for listener in self._probe_listeners:
+            listener(core, result.ways_probed)
+
+    # ------------------------------------------------------------------- API
+
+    def cpu_read(self, core: int, physical_address: int) -> bool:
+        """Core ``core`` reads a line it missed on. Returns True if another
+        core held the only dirty copy (owner forward, faster than DRAM)."""
+        line = self._line(physical_address)
+        entry = self._entry(line)
+        self.stats.read_transactions += 1
+        forwarded = False
+        if entry.owner is not None and entry.owner != core:
+            # Dirty elsewhere: probe the owner, who transitions M->O / stays O
+            # and forwards the data without a memory writeback.
+            self._deliver_probe(entry.owner, line, invalidate=False)
+            self.stats.owner_forwards += 1
+            forwarded = True
+        entry.sharers.add(core)
+        return forwarded
+
+    def cpu_write(self, core: int, physical_address: int) -> int:
+        """Core ``core`` writes a line. Invalidates all other copies.
+
+        Returns the number of invalidation probes sent.
+        """
+        line = self._line(physical_address)
+        entry = self._entry(line)
+        self.stats.write_transactions += 1
+        probes = 0
+        for sharer in sorted(entry.sharers - {core}):
+            self._deliver_probe(sharer, line, invalidate=True)
+            probes += 1
+        if entry.owner is not None and entry.owner != core:
+            if entry.owner not in entry.sharers:
+                self._deliver_probe(entry.owner, line, invalidate=True)
+                probes += 1
+        entry.sharers = {core}
+        entry.owner = core
+        return probes
+
+    def evict(self, core: int, physical_address: int) -> None:
+        """A core evicted its copy (keeps the directory from over-probing)."""
+        line = self._line(physical_address)
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers and entry.owner is None:
+            del self._entries[line]
+
+    def sharer_count(self, physical_address: int) -> int:
+        """Number of cores currently sharing the line."""
+        entry = self._entries.get(self._line(physical_address))
+        return len(entry.sharers) if entry else 0

@@ -1,0 +1,110 @@
+"""MOESI coherence protocol: states and the transition function.
+
+A line in an L1 is in one of five states:
+
+* ``M`` (Modified)  — only copy, dirty;
+* ``O`` (Owned)     — dirty, but other Shared copies may exist; this cache
+  services remote reads;
+* ``E`` (Exclusive) — only copy, clean;
+* ``S`` (Shared)    — clean copy, others may exist;
+* ``I`` (Invalid).
+
+The transition function covers local loads/stores and incoming probes.  It
+is deliberately a pure function so the directory and snoopy fabrics share
+one authoritative definition and property-based tests can exercise the full
+event space.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class MoesiState(enum.Enum):
+    """The five MOESI states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not MoesiState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """States whose data must be written back when dropped."""
+        return self in (MoesiState.MODIFIED, MoesiState.OWNED)
+
+    @property
+    def can_write(self) -> bool:
+        """States allowing a store without a coherence transaction."""
+        return self in (MoesiState.MODIFIED, MoesiState.EXCLUSIVE)
+
+
+class ProtocolEvent(enum.Enum):
+    """Events a cached line can observe."""
+
+    LOCAL_READ = "local-read"
+    LOCAL_WRITE = "local-write"
+    #: a remote core wants to read (directory forwards / bus snoop).
+    PROBE_SHARED = "probe-shared"
+    #: a remote core wants to write: invalidate this copy.
+    PROBE_INVALIDATE = "probe-invalidate"
+    EVICT = "evict"
+
+
+#: (state, event) -> (next state, writeback required)
+_TRANSITIONS = {
+    # Local reads never change a valid state.
+    (MoesiState.MODIFIED, ProtocolEvent.LOCAL_READ): (MoesiState.MODIFIED, False),
+    (MoesiState.OWNED, ProtocolEvent.LOCAL_READ): (MoesiState.OWNED, False),
+    (MoesiState.EXCLUSIVE, ProtocolEvent.LOCAL_READ): (MoesiState.EXCLUSIVE, False),
+    (MoesiState.SHARED, ProtocolEvent.LOCAL_READ): (MoesiState.SHARED, False),
+    (MoesiState.INVALID, ProtocolEvent.LOCAL_READ): (MoesiState.SHARED, False),
+    # Local writes upgrade to M (S/O/I require an invalidation transaction,
+    # handled by the fabric before this transition is applied).
+    (MoesiState.MODIFIED, ProtocolEvent.LOCAL_WRITE): (MoesiState.MODIFIED, False),
+    (MoesiState.OWNED, ProtocolEvent.LOCAL_WRITE): (MoesiState.MODIFIED, False),
+    (MoesiState.EXCLUSIVE, ProtocolEvent.LOCAL_WRITE): (MoesiState.MODIFIED, False),
+    (MoesiState.SHARED, ProtocolEvent.LOCAL_WRITE): (MoesiState.MODIFIED, False),
+    (MoesiState.INVALID, ProtocolEvent.LOCAL_WRITE): (MoesiState.MODIFIED, False),
+    # A remote reader demotes exclusivity; M/O keep ownership as O (MOESI's
+    # point: dirty data is shared without a memory writeback).
+    (MoesiState.MODIFIED, ProtocolEvent.PROBE_SHARED): (MoesiState.OWNED, False),
+    (MoesiState.OWNED, ProtocolEvent.PROBE_SHARED): (MoesiState.OWNED, False),
+    (MoesiState.EXCLUSIVE, ProtocolEvent.PROBE_SHARED): (MoesiState.SHARED, False),
+    (MoesiState.SHARED, ProtocolEvent.PROBE_SHARED): (MoesiState.SHARED, False),
+    (MoesiState.INVALID, ProtocolEvent.PROBE_SHARED): (MoesiState.INVALID, False),
+    # A remote writer invalidates; dirty states must surrender their data.
+    (MoesiState.MODIFIED, ProtocolEvent.PROBE_INVALIDATE): (MoesiState.INVALID, True),
+    (MoesiState.OWNED, ProtocolEvent.PROBE_INVALIDATE): (MoesiState.INVALID, True),
+    (MoesiState.EXCLUSIVE, ProtocolEvent.PROBE_INVALIDATE): (MoesiState.INVALID, False),
+    (MoesiState.SHARED, ProtocolEvent.PROBE_INVALIDATE): (MoesiState.INVALID, False),
+    (MoesiState.INVALID, ProtocolEvent.PROBE_INVALIDATE): (MoesiState.INVALID, False),
+    # Evictions write back dirty states.
+    (MoesiState.MODIFIED, ProtocolEvent.EVICT): (MoesiState.INVALID, True),
+    (MoesiState.OWNED, ProtocolEvent.EVICT): (MoesiState.INVALID, True),
+    (MoesiState.EXCLUSIVE, ProtocolEvent.EVICT): (MoesiState.INVALID, False),
+    (MoesiState.SHARED, ProtocolEvent.EVICT): (MoesiState.INVALID, False),
+    (MoesiState.INVALID, ProtocolEvent.EVICT): (MoesiState.INVALID, False),
+}
+
+
+def next_state(state: MoesiState,
+               event: ProtocolEvent) -> Tuple[MoesiState, bool]:
+    """Apply ``event`` to ``state``; return (new state, writeback needed)."""
+    return _TRANSITIONS[(state, event)]
+
+
+def fill_state_for_read(others_have_copy: bool) -> MoesiState:
+    """State granted to a read fill: E if sole copy, else S."""
+    return MoesiState.SHARED if others_have_copy else MoesiState.EXCLUSIVE
+
+
+def fill_state_for_write() -> MoesiState:
+    """State granted to a write fill (after invalidating other copies)."""
+    return MoesiState.MODIFIED

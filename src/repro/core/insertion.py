@@ -1,0 +1,55 @@
+"""Cache-line insertion policies for SEESAW (paper §IV-B1).
+
+Two candidate policies:
+
+* ``FOUR_WAY`` (the paper's choice): every fill — base page or superpage —
+  picks its victim with partition-local LRU inside the partition the
+  *physical* address maps to.  This (a) guarantees a line has exactly one
+  legal location even when a page is mapped both as a base page and as part
+  of a superpage, (b) lets coherence probes (physical addresses) touch only
+  one partition, and (c) costs about 1% hit rate.
+
+* ``FOUR_EIGHT_WAY``: superpage fills are partition-local, base-page fills
+  use global LRU over the whole set.  Slightly better hit rate, but the same
+  line can be installed twice and coherence must probe every way.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from repro.mem.address import PageSize
+from repro.core.partition import WayPartitioning
+
+
+class InsertionPolicy(enum.Enum):
+    """Victim-selection scope on a fill."""
+
+    FOUR_WAY = "4way"
+    FOUR_EIGHT_WAY = "4way-8way"
+
+    def candidate_ways(self, partitioning: WayPartitioning,
+                       physical_address: int,
+                       page_size: PageSize) -> Sequence[int]:
+        """Ways eligible to receive a fill of ``physical_address``.
+
+        Under ``FOUR_WAY`` the partition is always derived from the physical
+        address (for superpages the virtual address gives the same answer,
+        since the partition bits sit inside the page offset).
+        """
+        if self is InsertionPolicy.FOUR_WAY or page_size.is_superpage:
+            partition = partitioning.partition_of(physical_address)
+            return partitioning.ways_of_partition(partition)
+        return partitioning.all_ways()
+
+    @property
+    def coherence_probes_single_partition(self) -> bool:
+        """True when a coherence probe may touch only the PA's partition.
+
+        This is the property behind the paper's coherence-energy win
+        (§IV-C1): under ``FOUR_WAY`` every line resides in the partition its
+        physical address names, so probes (which carry physical addresses)
+        never need to search the rest of the set.
+        """
+        return self is InsertionPolicy.FOUR_WAY

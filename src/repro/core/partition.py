@@ -1,0 +1,98 @@
+"""Way-partitioning geometry for SEESAW (paper §IV-A1, Figs. 4 and 6).
+
+Each set of the L1 is divided into fixed-size partitions (the paper uses
+4-way, 16KB partitions).  The partition index is taken from the address bits
+immediately above the set index: bit 12 for a 32KB/8-way cache (2
+partitions), bits 13:12 for 64KB/16-way (4 partitions), bits 14:12 for
+128KB/32-way (8 partitions).  For 2MB superpages all of these bits fall
+inside the 21-bit page offset, so virtual and physical partition index
+agree — the property SEESAW exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.mem.address import CACHE_LINE_SIZE, PAGE_SIZE_4KB, PageSize
+
+
+@dataclass(frozen=True)
+class WayPartitioning:
+    """Geometry of a way-partitioned VIPT set.
+
+    Args:
+        total_ways: the set's associativity (8/16/32 in the paper).
+        partition_ways: ways probed per partition (paper: 4).
+        num_sets: sets in the cache (fixed at 64 by the VIPT constraint).
+    """
+
+    total_ways: int
+    partition_ways: int
+    num_sets: int = PAGE_SIZE_4KB // CACHE_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.total_ways % self.partition_ways:
+            raise ValueError("partition_ways must divide total_ways")
+        if self.num_partitions & (self.num_partitions - 1):
+            raise ValueError("number of partitions must be a power of two")
+
+    @property
+    def num_partitions(self) -> int:
+        """Partitions per set."""
+        return self.total_ways // self.partition_ways
+
+    @property
+    def partition_index_bits(self) -> int:
+        """Width of the partition index field (0 when unpartitioned)."""
+        return (self.num_partitions - 1).bit_length()
+
+    @property
+    def partition_index_low_bit(self) -> int:
+        """Lowest partition-index bit position: just above the set index.
+
+        With 64B lines and 64 sets this is bit 12 — the first bit beyond the
+        4KB page offset, which is why base pages cannot use it but 2MB
+        superpages can.
+        """
+        offset_bits = CACHE_LINE_SIZE.bit_length() - 1
+        index_bits = (self.num_sets - 1).bit_length()
+        return offset_bits + index_bits
+
+    def partition_of(self, address: int) -> int:
+        """Partition index encoded in ``address`` (virtual or physical)."""
+        if self.num_partitions == 1:
+            return 0
+        return ((address >> self.partition_index_low_bit)
+                & (self.num_partitions - 1))
+
+    def ways_of_partition(self, partition: int) -> range:
+        """The way numbers belonging to ``partition``."""
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(f"partition {partition} out of range")
+        start = partition * self.partition_ways
+        return range(start, start + self.partition_ways)
+
+    def partition_of_way(self, way: int) -> int:
+        """Inverse of :meth:`ways_of_partition` for a single way."""
+        return way // self.partition_ways
+
+    def all_ways(self) -> range:
+        """Every way in the set."""
+        return range(self.total_ways)
+
+    def other_partitions_ways(self, partition: int) -> List[int]:
+        """Ways *outside* ``partition`` (the cycle-2 read on a TFT miss)."""
+        return [w for w in range(self.total_ways)
+                if w // self.partition_ways != partition]
+
+    def index_bits_within_page(self, page_size: PageSize) -> bool:
+        """True if the partition-index bits fit inside ``page_size``'s offset.
+
+        This is the formal statement of SEESAW's enabling observation: true
+        for 2MB/1GB superpages, false for 4KB base pages (with >=2
+        partitions).
+        """
+        highest_bit = (self.partition_index_low_bit
+                       + self.partition_index_bits - 1)
+        return highest_bit < page_size.offset_bits

@@ -1,0 +1,135 @@
+"""Instruction-scheduler interaction with SEESAW's variable hit latency
+(paper §IV-B3).
+
+Out-of-order cores speculatively wake dependents of a load assuming a hit
+latency.  With SEESAW the hit latency is bimodal (fast for TFT-confirmed
+superpages, slow otherwise), so the scheduler must pick which latency to
+assume:
+
+* assume **fast** and the access turns out slow → dependents issued too
+  early are squashed and replayed (a fixed penalty);
+* assume **slow** and the access is fast → no squash, but the latency win
+  is forfeited (energy win remains).
+
+SEESAW's policy: speculate fast by default, but fall back to assuming slow
+when superpages are scarce — detected by a counter of valid entries in the
+superpage L1 TLB dropping below a quarter of its capacity (the threshold
+the paper found by sweeping).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class HitSpeculationPolicy(enum.Enum):
+    """Which hit latency the scheduler assumes for a load."""
+
+    ALWAYS_FAST = "always-fast"
+    ALWAYS_SLOW = "always-slow"
+    #: the paper's adaptive policy: fast unless superpages are scarce.
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class SpeculationOutcome:
+    """Scheduling consequence of one L1 access."""
+
+    effective_latency_cycles: int
+    squashed: bool
+
+
+@dataclass
+class SchedulerStats:
+    """Squash/replay accounting."""
+
+    fast_assumptions: int = 0
+    slow_assumptions: int = 0
+    squashes: int = 0
+    squash_cycles: int = 0
+
+
+class SchedulerModel:
+    """Models speculative wakeup for a variable-hit-latency L1.
+
+    Args:
+        fast_cycles: the SEESAW fast (superpage) hit latency.
+        slow_cycles: the full-set (base-page / baseline) hit latency.
+        policy: speculation policy (paper default ADAPTIVE).
+        squash_penalty_cycles: replay cost when dependents were woken too
+            early.  The TFT verdict arrives about a quarter cycle into the
+            lookup (paper §IV-A2) — before the fast-hit data — so the
+            scheduler can cancel most speculative wakeups in time; what
+            remains is roughly one wasted wakeup/issue slot (default 1),
+            not a pipeline flush.
+        scarcity_threshold: assume slow when the superpage TLB's valid-entry
+            count falls below ``capacity * scarcity_threshold`` (paper: 1/4).
+    """
+
+    def __init__(self, fast_cycles: int, slow_cycles: int,
+                 policy: HitSpeculationPolicy = HitSpeculationPolicy.ADAPTIVE,
+                 squash_penalty_cycles: int = 1,
+                 scarcity_threshold: float = 0.25) -> None:
+        if fast_cycles > slow_cycles:
+            raise ValueError("fast hit latency cannot exceed slow latency")
+        self.fast_cycles = fast_cycles
+        self.slow_cycles = slow_cycles
+        self.policy = policy
+        self.squash_penalty_cycles = squash_penalty_cycles
+        self.scarcity_threshold = scarcity_threshold
+        self.stats = SchedulerStats()
+
+    # ----------------------------------------------------------- speculation
+
+    def assume_fast(self, superpage_tlb_valid: int,
+                    superpage_tlb_capacity: int) -> bool:
+        """Decide the assumed hit latency for the next load."""
+        if self.policy is HitSpeculationPolicy.ALWAYS_FAST:
+            decision = True
+        elif self.policy is HitSpeculationPolicy.ALWAYS_SLOW:
+            decision = False
+        else:
+            threshold = superpage_tlb_capacity * self.scarcity_threshold
+            decision = superpage_tlb_valid >= threshold
+        if decision:
+            self.stats.fast_assumptions += 1
+        else:
+            self.stats.slow_assumptions += 1
+        return decision
+
+    def resolve_hit(self, assumed_fast: bool,
+                    actual_latency: int) -> SpeculationOutcome:
+        """Combine the assumption with the actual hit latency.
+
+        * assumed fast, actual fast  → fast latency, no squash;
+        * assumed fast, actual slow  → actual latency + squash penalty;
+        * assumed slow, actual fast  → *slow* latency (dependents were
+          scheduled for the slow wakeup; the early data cannot be consumed
+          sooner), no squash;
+        * assumed slow, actual slow  → slow latency, no squash.
+        """
+        assumed = self.fast_cycles if assumed_fast else self.slow_cycles
+        if actual_latency > assumed:
+            # Dependents were woken expecting data at `assumed`; only the
+            # wakeups issued inside the (actual - assumed) window need
+            # replay, so the penalty is capped by that window.
+            penalty = min(self.squash_penalty_cycles,
+                          actual_latency - assumed)
+            self.stats.squashes += 1
+            self.stats.squash_cycles += penalty
+            return SpeculationOutcome(
+                effective_latency_cycles=actual_latency + penalty,
+                squashed=True)
+        return SpeculationOutcome(
+            effective_latency_cycles=max(assumed, actual_latency),
+            squashed=False)
+
+    def resolve_miss(self, assumed_fast: bool,
+                     total_latency: int) -> SpeculationOutcome:
+        """A cache miss squashes dependents under *any* design (the baseline
+        schedules for a hit too), so no SEESAW-specific penalty is added —
+        the replay cost is common-mode and cancels in comparisons.
+        """
+        return SpeculationOutcome(effective_latency_cycles=total_latency,
+                                  squashed=False)

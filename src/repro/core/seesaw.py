@@ -1,0 +1,360 @@
+"""The SEESAW L1 data cache (paper §IV).
+
+SEESAW keeps the VIPT structure (64 sets indexed from page-offset bits,
+physical tags) but way-partitions every set and adds a Translation Filter
+Table.  Lookup proceeds speculating a superpage access:
+
+* **TFT hit** — the address is definitely in a 2MB superpage, so the
+  partition named by the VA's partition bits is the only place the line can
+  be; probe just those ways.  Hit: fast latency.  Miss: normal miss, with
+  the lookup-energy saving intact (paper Table I, rows 1-2).
+* **TFT miss** — unknown page size; the speculative partition is probed in
+  cycle 1 and the remaining partitions in cycle 2, matching baseline VIPT
+  latency and energy (Table I, rows 3-4).
+
+Fills use the ``4way`` insertion policy by default: the victim comes from
+the partition the *physical* address names, which also lets every coherence
+probe (base page or superpage) touch a single partition (paper §IV-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.mem.address import CACHE_LINE_SIZE, PageSize
+from repro.cache.basic import CacheLine, SetAssociativeCache
+from repro.cache.vipt import CoherenceProbeResult, L1AccessResult, L1Timing
+from repro.cache.way_predictor import MRUWayPredictor
+from repro.core.adaptive_wp import WayPredictionGate
+from repro.core.insertion import InsertionPolicy
+from repro.core.partition import WayPartitioning
+from repro.core.tft import TranslationFilterTable
+from repro.tlb.tlb import TLBEntry
+
+
+@dataclass
+class SeesawStats:
+    """SEESAW-specific counters layered over the store's CacheStats.
+
+    The four TFT-related counters drive Fig. 13: of all accesses to
+    superpage-backed data, how many did the TFT fail to identify, split by
+    whether the L1 lookup ultimately hit or missed.
+    """
+
+    superpage_accesses: int = 0
+    base_page_accesses: int = 0
+    fast_hits: int = 0              # TFT hit + partition tag match
+    fast_misses: int = 0            # TFT hit + tag mismatch (energy-only win)
+    tft_missed_superpage_l1_hits: int = 0
+    tft_missed_superpage_l1_misses: int = 0
+    coherence_probes: int = 0
+    coherence_ways_probed: int = 0
+    promotion_sweeps: int = 0
+    promotion_sweep_cycles: int = 0
+    lines_swept: int = 0
+
+    @property
+    def tft_missed_superpage_accesses(self) -> int:
+        return (self.tft_missed_superpage_l1_hits
+                + self.tft_missed_superpage_l1_misses)
+
+    def tft_superpage_miss_fraction(self) -> float:
+        """Fraction of superpage accesses the TFT failed to identify."""
+        if not self.superpage_accesses:
+            return 0.0
+        return self.tft_missed_superpage_accesses / self.superpage_accesses
+
+
+class SeesawL1Cache:
+    """Way-partitioned, TFT-guided VIPT L1 data cache.
+
+    Args:
+        size_bytes: capacity (32KB-128KB in the paper).  Sets are fixed at
+            64 by the VIPT constraint, so associativity is size/4KB.
+        timing: base/superpage hit latencies for this (size, frequency)
+            point (paper Table III).
+        partition_ways: ways per partition (paper: 4, i.e. 16KB partitions).
+        insertion: victim-selection policy (paper default ``4way``).
+        tft_entries: TFT size (paper default 16).
+        way_predictor: optional MRU predictor for the WP+SEESAW design
+            point of Fig. 15.
+        wp_gate: optional confidence gate that dynamically disables the
+            way predictor during poor-locality phases (the paper's §VI-F
+            future-work scheme).
+        wp_mispredict_penalty: extra cycles when the way predictor misses
+            and the line is present.  ``None`` (default) charges a full
+            second lookup of the relevant scope: the whole set on the
+            TFT-miss path, but only the partition on the TFT-hit path —
+            SEESAW "reduce[s] the way-predictor's misprediction penalty
+            for superpage accesses" (paper §IV-B2).
+        promotion_sweep_cycles: cycles charged per promotion-triggered cache
+            sweep (paper: 150-200; hidden under the TLB-shootdown window).
+    """
+
+    MAX_SETS = ViptMaxSets = 64
+
+    def __init__(self, size_bytes: int, timing: L1Timing,
+                 partition_ways: int = 4,
+                 insertion: InsertionPolicy = InsertionPolicy.FOUR_WAY,
+                 tft_entries: int = 16,
+                 way_predictor: Optional[MRUWayPredictor] = None,
+                 wp_gate: Optional[WayPredictionGate] = None,
+                 wp_mispredict_penalty: Optional[int] = None,
+                 promotion_sweep_cycles: int = 175,
+                 name: str = "seesaw-l1", seed: int = 0) -> None:
+        num_sets = self.MAX_SETS
+        ways = size_bytes // (num_sets * CACHE_LINE_SIZE)
+        if ways < partition_ways:
+            # Small caches degenerate to a single partition.
+            partition_ways = ways
+        self.timing = timing
+        self.name = name
+        self.insertion = insertion
+        self.partitioning = WayPartitioning(total_ways=ways,
+                                            partition_ways=partition_ways,
+                                            num_sets=num_sets)
+        self.tft = TranslationFilterTable(entries=tft_entries,
+                                          lookup_cycles=timing.tft_cycles)
+        self.way_predictor = way_predictor
+        self.wp_gate = wp_gate
+        self.wp_mispredict_penalty = wp_mispredict_penalty
+        self.promotion_sweep_cycles = promotion_sweep_cycles
+        self.store = SetAssociativeCache(
+            size_bytes, ways, replacement="lru", name=name, seed=seed)
+        self.seesaw_stats = SeesawStats()
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def ways(self) -> int:
+        return self.store.ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.store.size_bytes
+
+    @property
+    def stats(self):
+        return self.store.stats
+
+    # -------------------------------------------------------------- plumbing
+
+    def attach_to_tlb_hierarchy(self, hierarchy) -> None:
+        """Register the TFT fill hook on a TLB hierarchy (paper Fig. 5)."""
+        hierarchy.register_fill_hook(self.on_tlb_fill)
+
+    def attach_to_memory_manager(self, manager) -> None:
+        """Register invalidation + promotion hooks on the OS layer."""
+        manager.register_invalidation_hook(self.on_translation_invalidated)
+        manager.register_promotion_hook(self.on_region_promoted)
+
+    def on_tlb_fill(self, entry: TLBEntry) -> None:
+        """TFT update path: any 2MB translation entering the L1 TLB level."""
+        if entry.page_size is PageSize.SUPER_2MB:
+            self.tft.fill(entry.virtual_page << entry.page_size.offset_bits)
+
+    def on_translation_invalidated(self, virtual_base: int,
+                                   page_size: PageSize) -> None:
+        """``invlpg`` extension: splintered superpages leave the TFT."""
+        if page_size is PageSize.SUPER_2MB:
+            self.tft.invalidate(virtual_base)
+
+    def on_region_promoted(self, virtual_base: int,
+                           old_physical_bases: Sequence[int]) -> None:
+        """Promotion sweep (paper §IV-C2).
+
+        Lines cached under the retired base-page frames could sit in a
+        partition the post-promotion lookup will never probe, so they are
+        evicted wholesale.  The sweep cost rides the 150-200-cycle TLB
+        invalidation instruction and is charged to
+        ``seesaw_stats.promotion_sweep_cycles``.
+        """
+        swept = 0
+        for physical_base in old_physical_bases:
+            for offset in range(0, int(PageSize.BASE_4KB), CACHE_LINE_SIZE):
+                if self.store.invalidate_line(physical_base + offset):
+                    swept += 1
+        self.seesaw_stats.promotion_sweeps += 1
+        self.seesaw_stats.promotion_sweep_cycles += self.promotion_sweep_cycles
+        self.seesaw_stats.lines_swept += swept
+
+    def on_context_switch(self) -> None:
+        """The TFT carries no ASIDs, so it flushes on context switches."""
+        self.tft.flush()
+
+    # ------------------------------------------------------------ search core
+
+    def _find(self, cache_set, tag: int,
+              ways: Iterable[int]) -> Optional[int]:
+        for way in ways:
+            line = cache_set.lines[way]
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    # ------------------------------------------------------------------- API
+
+    def access(self, virtual_address: int, physical_address: int,
+               page_size: PageSize, is_write: bool = False) -> L1AccessResult:
+        """CPU-side lookup (paper Table I).
+
+        The physical address (used for the tag compare) arrives from the
+        parallel TLB lookup, exactly as in baseline VIPT; the TFT outcome
+        decides how many ways were probed and the resulting latency.
+        """
+        set_index = self.store.set_index(physical_address)
+        cache_set = self.store.set_at(set_index)
+        tag = self.store.tag_of(physical_address)
+        speculative_partition = self.partitioning.partition_of(virtual_address)
+        partition_ways = self.partitioning.ways_of_partition(
+            speculative_partition)
+        tft_hit = self.tft.lookup(virtual_address)
+        is_super = page_size.is_superpage
+        if is_super:
+            self.seesaw_stats.superpage_accesses += 1
+        else:
+            self.seesaw_stats.base_page_accesses += 1
+            assert not tft_hit, "TFT must never hit for base-page accesses"
+
+        wp_correct: Optional[bool] = None
+        predict_this_access = self.way_predictor is not None and (
+            self.wp_gate is None or self.wp_gate.should_predict())
+        if tft_hit:
+            # Rows 1-2 of Table I: only the named partition is probed.
+            latency = self.timing.super_hit_cycles
+            ways_probed = self.partitioning.partition_ways
+            way = self._find(cache_set, tag, partition_ways)
+            if predict_this_access:
+                predicted = self.way_predictor.predict(
+                    set_index, candidates=list(partition_ways))
+                wp_correct = self.way_predictor.record_outcome(
+                    set_index, way, predicted)
+                if self.wp_gate is not None:
+                    self.wp_gate.update(bool(wp_correct))
+                if wp_correct:
+                    ways_probed = 1
+                elif way is not None:
+                    # Second pass re-reads only this partition.
+                    latency += (self.wp_mispredict_penalty
+                                if self.wp_mispredict_penalty is not None
+                                else self.timing.super_hit_cycles)
+            hit = way is not None
+            if hit:
+                self.seesaw_stats.fast_hits += 1
+            else:
+                self.seesaw_stats.fast_misses += 1
+            fast_path = True
+        else:
+            # Rows 3-4: speculative partition in cycle 1, rest in cycle 2.
+            latency = self.timing.base_hit_cycles
+            ways_probed = self.partitioning.total_ways
+            way = self._find(cache_set, tag, partition_ways)
+            if way is None:
+                way = self._find(
+                    cache_set, tag,
+                    self.partitioning.other_partitions_ways(
+                        speculative_partition))
+            if predict_this_access:
+                # Without a TFT hit the predictor works over the whole set
+                # (the plain way-prediction design of Fig. 15): a correct
+                # prediction reads one way, a wrong one re-reads the set
+                # and pays the replay penalty.
+                predicted = self.way_predictor.predict(set_index)
+                wp_correct = self.way_predictor.record_outcome(
+                    set_index, way, predicted)
+                if self.wp_gate is not None:
+                    self.wp_gate.update(bool(wp_correct))
+                if wp_correct:
+                    ways_probed = 1
+                elif way is not None:
+                    # Second pass re-reads the whole set.
+                    latency += (self.wp_mispredict_penalty
+                                if self.wp_mispredict_penalty is not None
+                                else self.timing.base_hit_cycles)
+            hit = way is not None
+            fast_path = False
+            if is_super:
+                if hit:
+                    self.seesaw_stats.tft_missed_superpage_l1_hits += 1
+                else:
+                    self.seesaw_stats.tft_missed_superpage_l1_misses += 1
+
+        self.store.stats.ways_probed += ways_probed
+        if hit:
+            cache_set.policy.touch(way)
+            if is_write:
+                cache_set.lines[way].dirty = True
+            self.store.stats.hits += 1
+        else:
+            self.store.stats.misses += 1
+        return L1AccessResult(
+            hit=hit,
+            latency_cycles=latency,
+            ways_probed=ways_probed,
+            page_size=page_size,
+            fast_path=fast_path,
+            tft_hit=tft_hit,
+            way_prediction_correct=wp_correct,
+            # Table I: a TFT-hit miss saves energy, not latency — the miss
+            # is declared (and L2 probed) at the same tag-path point as
+            # the baseline.
+            miss_detect_cycles=self.timing.miss_detect_cycles(),
+        )
+
+    def fill(self, physical_address: int, page_size: PageSize,
+             dirty: bool = False) -> CacheLine:
+        """Install a line; the victim scope follows the insertion policy."""
+        candidates = self.insertion.candidate_ways(
+            self.partitioning, physical_address, page_size)
+        line = self.store.fill(physical_address, dirty=dirty,
+                               from_superpage=page_size.is_superpage,
+                               candidate_ways=candidates)
+        if self.way_predictor is not None:
+            set_index = self.store.set_index(physical_address)
+            way = self.store.set_at(set_index).find(
+                self.store.tag_of(physical_address))
+            if way is not None:
+                self.way_predictor.update_on_fill(set_index, way)
+        return line
+
+    def coherence_probe(self, physical_address: int,
+                        invalidate: bool = False) -> CoherenceProbeResult:
+        """Coherence lookup (paper §IV-C1).
+
+        Under the ``4way`` insertion policy the physical address pins the
+        line to one partition, so only ``partition_ways`` ways are probed —
+        for base pages and superpages alike.  Under ``4way-8way`` the whole
+        set must be searched.
+        """
+        if self.insertion.coherence_probes_single_partition:
+            partition = self.partitioning.partition_of(physical_address)
+            ways: Sequence[int] = self.partitioning.ways_of_partition(partition)
+            ways_probed = self.partitioning.partition_ways
+        else:
+            ways = self.partitioning.all_ways()
+            ways_probed = self.partitioning.total_ways
+        self.seesaw_stats.coherence_probes += 1
+        self.seesaw_stats.coherence_ways_probed += ways_probed
+        self.store.stats.ways_probed += ways_probed
+        cache_set = self.store.set_at(
+            self.store.set_index(physical_address))
+        way = self._find(cache_set, self.store.tag_of(physical_address), ways)
+        if way is None:
+            return CoherenceProbeResult(present=False, ways_probed=ways_probed)
+        line = cache_set.lines[way]
+        dirty = line.dirty
+        if invalidate:
+            line.reset()
+        return CoherenceProbeResult(present=True, ways_probed=ways_probed,
+                                    dirty=dirty, invalidated=invalidate)
+
+    def sweep_virtual_range(self, virtual_base: int, length: int,
+                            translate) -> int:
+        """Shared sweep interface (see :class:`ViptL1Cache`)."""
+        evicted = 0
+        for offset in range(0, length, CACHE_LINE_SIZE):
+            pa = translate(virtual_base + offset)
+            if pa is not None and self.store.invalidate_line(pa):
+                evicted += 1
+        return evicted

@@ -1,0 +1,163 @@
+"""Translation Filter Table (TFT): SEESAW's page-size predictor (paper Fig. 5).
+
+The TFT is a small table of 2MB virtual-address regions known to be backed
+by 2MB superpages.  It is looked up in parallel with the L1 TLBs by hashing
+VA[63:21]; a hit *guarantees* the access targets a superpage (the TFT is
+filled only from confirmed superpage translations, so it never
+false-positives), while a miss means "unknown" and forces the conservative
+full-set lookup.
+
+Sizing (paper §IV-A2 and Fig. 13): 16 entries ≈ 86 bytes per core keeps the
+missed-superpage-access rate under 10%.  The paper's design is
+direct-mapped ("although set-associative implementations are possible") and
+carries no ASID tags (§IV-C3: doubling the area was not worth <1%
+performance) — both variants are implemented here for the ablations:
+
+* ``ways > 1`` gives a set-associative TFT with LRU within each set;
+* ``asid_tags=True`` tags entries with an ASID so context switches no
+  longer force a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mem.address import PageSize, region_2mb
+
+
+@dataclass
+class TFTStats:
+    """Lookup/fill counters."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TranslationFilterTable:
+    """Table of superpage-backed 2MB virtual regions.
+
+    Args:
+        entries: total entry count (paper default 16).
+        ways: associativity; 1 (the paper's direct-mapped design) needs no
+            replacement policy — fills simply displace the slot's occupant.
+        asid_tags: tag entries with an address-space id instead of flushing
+            on context switches (the paper's rejected-for-area variant).
+        lookup_cycles: access latency; completes within the L1's first
+            cycle (paper: about a quarter of the cycle time), so 1 cycle is
+            an upper bound used for Table III reporting.
+    """
+
+    #: bits of a 64-bit VA above the 2MB offset — the stored tag width the
+    #: paper quotes (43 bits).
+    TAG_BITS = 64 - PageSize.SUPER_2MB.offset_bits
+
+    def __init__(self, entries: int = 16, ways: int = 1,
+                 asid_tags: bool = False, lookup_cycles: int = 1) -> None:
+        if entries <= 0:
+            raise ValueError("TFT must have at least one entry")
+        if ways <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self.asid_tags = asid_tags
+        self.lookup_cycles = lookup_cycles
+        self.stats = TFTStats()
+        # Each set holds (region, asid) pairs, LRU-ordered (MRU last).
+        self._sets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self.num_sets)]
+
+    def _index(self, region: int) -> int:
+        """Paper's hash: VA[63:21] MOD (# of TFT sets)."""
+        return region % self.num_sets
+
+    def _key(self, region: int, asid: int) -> Tuple[int, int]:
+        return (region, asid if self.asid_tags else 0)
+
+    # ------------------------------------------------------------------- API
+
+    def lookup(self, virtual_address: int, asid: int = 0) -> bool:
+        """True iff the address's 2MB region is known superpage-backed."""
+        region = region_2mb(virtual_address)
+        entries = self._sets[self._index(region)]
+        key = self._key(region, asid)
+        if key in entries:
+            entries.remove(key)
+            entries.append(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, virtual_address: int, asid: int = 0) -> bool:
+        """Side-effect-free :meth:`lookup` (no stats, no LRU update)."""
+        region = region_2mb(virtual_address)
+        return self._key(region, asid) in self._sets[self._index(region)]
+
+    def fill(self, virtual_address: int, asid: int = 0) -> None:
+        """Mark the 2MB region of ``virtual_address`` as superpage-backed.
+
+        Called on page-walk completion for 2MB leaves and on fills into the
+        2MB L1 TLB (paper Fig. 5 step 8).  Direct-mapped configurations
+        evict the slot's occupant; set-associative ones evict LRU.
+        """
+        region = region_2mb(virtual_address)
+        entries = self._sets[self._index(region)]
+        key = self._key(region, asid)
+        if key in entries:
+            entries.remove(key)
+        elif len(entries) >= self.ways:
+            entries.pop(0)
+        entries.append(key)
+        self.stats.fills += 1
+
+    def invalidate(self, virtual_address: int, asid: int = 0) -> bool:
+        """Drop the region entry (superpage splintered; ``invlpg`` hook).
+
+        Returns True if an entry was removed.
+        """
+        region = region_2mb(virtual_address)
+        entries = self._sets[self._index(region)]
+        key = self._key(region, asid)
+        if key in entries:
+            entries.remove(key)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Clear the table.
+
+        Without ASID tags, SEESAW flushes the TFT on every context switch
+        (paper §IV-C3); with tags a flush is only needed on ASID rollover.
+        """
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats.flushes += 1
+
+    def on_context_switch(self) -> None:
+        """Context-switch behaviour: flush unless ASID-tagged."""
+        if not self.asid_tags:
+            self.flush()
+
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return sum(len(entries) for entries in self._sets)
+
+    @property
+    def storage_bytes(self) -> float:
+        """Approximate storage: 43-bit tags, plus 12-bit ASIDs if tagged
+        (16 entries -> 86B untagged, the paper's number)."""
+        bits = self.TAG_BITS + (12 if self.asid_tags else 0)
+        return self.entries * bits / 8

@@ -1,0 +1,17 @@
+"""Core timing models: in-order (Atom-like) and out-of-order (Sandybridge-like).
+
+The paper evaluates SEESAW on both core styles (Table II).  These are
+trace-driven timing models: they do not execute instructions, but charge
+cycles for front-end work between memory references and for the exposed
+portion of each reference's latency.  The difference between the models is
+how much memory latency they can hide — none for the blocking in-order
+pipeline beyond pipelining of independent work, much more for the
+ROB/scheduler-windowed out-of-order core — which is why SEESAW's gains are
+3-5% higher on in-order cores (paper §VI-A).
+"""
+
+from repro.cpu.core import CoreModel, CoreStats
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.ooo import OutOfOrderCore
+
+__all__ = ["CoreModel", "CoreStats", "InOrderCore", "OutOfOrderCore"]

@@ -1,0 +1,71 @@
+"""Shared core-model machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoreStats:
+    """Cycle and instruction accounting for one core.
+
+    Cycles accumulate as floats: sub-cycle quantities (partially hidden hit
+    latency, fractional issue slots) must not be rounded away per access or
+    a one-cycle L1 improvement vanishes entirely under an out-of-order
+    exposure factor.  Round once, at reporting time.
+    """
+
+    cycles: float = 0.0
+    instructions: int = 0
+    memory_references: int = 0
+    stall_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class CoreModel:
+    """Base trace-driven core timing model.
+
+    Subclasses define how much of a memory reference's latency is exposed
+    as pipeline stall.  Front-end work is charged at ``issue_width``
+    instructions per cycle.
+    """
+
+    def __init__(self, issue_width: int = 2,
+                 frequency_ghz: float = 1.33) -> None:
+        self.issue_width = issue_width
+        self.frequency_ghz = frequency_ghz
+        self.stats = CoreStats()
+
+    def advance(self, gap_instructions: int) -> None:
+        """Charge front-end cycles for non-memory instructions plus the
+        memory instruction itself."""
+        instructions = gap_instructions + 1
+        self.stats.instructions += instructions
+        self.stats.cycles += instructions / self.issue_width
+        self.stats.memory_references += 1
+
+    def memory_stall(self, hit: bool, latency_cycles: float) -> float:
+        """Exposed stall cycles for one memory reference."""
+        raise NotImplementedError
+
+    def account_memory(self, hit: bool, latency_cycles: float) -> float:
+        """Charge the exposed portion of a reference's latency; return it."""
+        stall = self.memory_stall(hit, latency_cycles)
+        self.stats.cycles += stall
+        self.stats.stall_cycles += stall
+        return stall
+
+    def charge_cycles(self, cycles: int) -> None:
+        """Charge raw cycles (promotion sweeps, shootdowns, etc.)."""
+        self.stats.cycles += cycles
+
+    @property
+    def runtime_cycles(self) -> int:
+        return round(self.stats.cycles)
+
+    def runtime_seconds(self) -> float:
+        """Wall-clock runtime at the configured frequency."""
+        return self.stats.cycles / (self.frequency_ghz * 1e9)

@@ -1,0 +1,20 @@
+"""Energy and latency models: SRAM arrays and memory-hierarchy accounting.
+
+Stands in for the paper's TSMC-28nm SRAM compiler + Synopsys synthesis flow
+(§III-B): an analytic model reproduces the Fig. 2b/2c latency/energy trends
+(latency +10-25% and energy +40-50% per associativity step), and the exact
+operating points the paper publishes in Table III are carried as calibrated
+tables.  The accounting layer turns per-access events into the Fig. 10/11
+memory-hierarchy energy splits.
+"""
+
+from repro.energy.sram import SRAMModel, table3_latencies, TABLE3
+from repro.energy.accounting import EnergyAccountant, EnergyBreakdown
+
+__all__ = [
+    "SRAMModel",
+    "table3_latencies",
+    "TABLE3",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,125 @@
+"""Analytic SRAM latency/energy model, calibrated to the paper.
+
+The paper's §III-B study (TSMC 28nm compiler, latency-optimized synthesis,
+scaled to 22nm) found:
+
+* access latency rises 10-25% per associativity doubling (Fig. 2b);
+* total access energy rises 40-50% per associativity doubling (Fig. 2c);
+* for the three L1 configurations evaluated, the concrete cycle counts in
+  Table III (e.g. a 128KB 32-way VIPT lookup costs 14 cycles at 1.33GHz
+  while SEESAW's 4-way partition lookup costs 2).
+
+The analytic model reproduces the trends for arbitrary (size, ways) points
+— used by the Fig. 2b/2c sweeps and the Fig. 14 PIPT design-space search —
+while :data:`TABLE3` carries the paper's exact published operating points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: (cache KB, frequency GHz) -> (TFT cycles, base-page cycles, superpage cycles)
+#: — paper Table III verbatim.
+TABLE3: Dict[Tuple[int, float], Tuple[int, int, int]] = {
+    (32, 1.33): (1, 2, 1),
+    (32, 2.80): (1, 4, 2),
+    (32, 4.00): (1, 5, 3),
+    (64, 1.33): (1, 5, 1),
+    (64, 2.80): (1, 9, 2),
+    (64, 4.00): (1, 13, 3),
+    (128, 1.33): (1, 14, 2),
+    (128, 2.80): (1, 30, 3),
+    (128, 4.00): (1, 42, 4),
+}
+
+
+def table3_latencies(size_kb: int, frequency_ghz: float
+                     ) -> Tuple[int, int, int]:
+    """Return (TFT, base-page, superpage) cycles for a Table III config.
+
+    Raises:
+        KeyError: for configurations outside the paper's evaluated set.
+    """
+    return TABLE3[(size_kb, round(frequency_ghz, 2))]
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """Latency/energy for a latency-optimized L1 SRAM macro.
+
+    The functional form is ``metric = base(size) * step^log2(ways)``:
+    latency and energy each grow by a fixed factor per associativity
+    doubling, matching the per-step percentages the paper reports.  Partial
+    lookups (probing only ``k`` of ``ways``) scale energy sublinearly with
+    ``(k/ways)^partial_exponent`` — calibrated so a 4-of-8-way SEESAW probe
+    costs 39-40% less than the full 8-way lookup (paper §IV-A4: 39.43%).
+
+    All defaults correspond to the paper's 22nm-scaled numbers.
+    """
+
+    #: direct-mapped latency of a 16KB array (ns).
+    latency_base_ns: float = 0.42
+    #: latency growth with capacity: (size/16KB)^exponent.
+    latency_size_exponent: float = 0.35
+    #: latency multiplier per associativity doubling (paper: 10-25%).
+    latency_assoc_step: float = 1.18
+    #: extra superlinear latency term for very wide comparators — makes the
+    #: 16/32-way points blow up the way aggressive synthesis did (§III-B).
+    latency_wide_penalty: float = 0.35
+    #: direct-mapped energy of a 16KB array (nJ).
+    energy_base_nj: float = 0.011
+    #: energy growth with capacity.
+    energy_size_exponent: float = 0.55
+    #: energy multiplier per associativity doubling (paper: 40-50%).
+    energy_assoc_step: float = 1.45
+    #: exponent for partial-way probe energy.
+    partial_exponent: float = 0.75
+
+    # ---------------------------------------------------------------- latency
+
+    def access_latency_ns(self, size_bytes: int, ways: int) -> float:
+        """Lookup latency of a (size, ways) array in ns (Fig. 2b)."""
+        if size_bytes <= 0 or ways <= 0:
+            raise ValueError("size and ways must be positive")
+        steps = math.log2(ways)
+        base = self.latency_base_ns * (size_bytes / (16 * 1024)
+                                       ) ** self.latency_size_exponent
+        latency = base * self.latency_assoc_step ** steps
+        if ways > 8:
+            # Wide tag-comparator/mux trees scale worse than the per-step
+            # factor once past 8 ways (the infeasible corner of Fig. 2b).
+            latency *= (1 + self.latency_wide_penalty) ** (steps - 3)
+        return latency
+
+    def access_latency_cycles(self, size_bytes: int, ways: int,
+                              frequency_ghz: float) -> int:
+        """Lookup latency in whole core cycles at ``frequency_ghz``."""
+        return max(1, math.ceil(self.access_latency_ns(size_bytes, ways)
+                                * frequency_ghz))
+
+    # ----------------------------------------------------------------- energy
+
+    def access_energy_nj(self, size_bytes: int, ways: int) -> float:
+        """Full-set lookup energy of a (size, ways) array in nJ (Fig. 2c)."""
+        if size_bytes <= 0 or ways <= 0:
+            raise ValueError("size and ways must be positive")
+        base = self.energy_base_nj * (size_bytes / (16 * 1024)
+                                      ) ** self.energy_size_exponent
+        return base * self.energy_assoc_step ** math.log2(ways)
+
+    def partial_lookup_energy_nj(self, size_bytes: int, ways: int,
+                                 ways_probed: int) -> float:
+        """Energy of probing only ``ways_probed`` of ``ways`` (SEESAW path).
+
+        Includes the ~0.41% overhead of SEESAW's partition decoder and
+        muxing (paper §IV-A4) whenever the probe is narrower than the set.
+        """
+        if not 0 < ways_probed <= ways:
+            raise ValueError("ways_probed must be in (0, ways]")
+        full = self.access_energy_nj(size_bytes, ways)
+        if ways_probed == ways:
+            return full
+        fraction = (ways_probed / ways) ** self.partial_exponent
+        return full * fraction * 1.0041

@@ -1,0 +1,52 @@
+"""Virtual-memory substrate: addressing, physical memory, page tables, OS policy.
+
+This package implements everything below the TLB: the x86-64-style address
+split for 4KB base pages and 2MB/1GB superpages, a buddy allocator over
+physical frames, a multi-page-size page table, and the OS policies the paper
+depends on (transparent huge pages, fragmentation via memhog, superpage
+promotion and splintering).
+"""
+
+from repro.mem.address import (
+    PAGE_SIZE_4KB,
+    PAGE_SIZE_2MB,
+    PAGE_SIZE_1GB,
+    CACHE_LINE_SIZE,
+    PageSize,
+    page_offset_bits,
+    page_number,
+    page_offset,
+    page_base,
+    align_down,
+    align_up,
+    is_aligned,
+)
+from repro.mem.physical import PhysicalMemory, BuddyAllocator, OutOfMemoryError
+from repro.mem.page_table import PageTable, Mapping, TranslationFault
+from repro.mem.os_policy import MemoryManager, THPPolicy
+from repro.mem.fragmentation import Memhog, fragment_memory
+
+__all__ = [
+    "PAGE_SIZE_4KB",
+    "PAGE_SIZE_2MB",
+    "PAGE_SIZE_1GB",
+    "CACHE_LINE_SIZE",
+    "PageSize",
+    "page_offset_bits",
+    "page_number",
+    "page_offset",
+    "page_base",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "PhysicalMemory",
+    "BuddyAllocator",
+    "OutOfMemoryError",
+    "PageTable",
+    "Mapping",
+    "TranslationFault",
+    "MemoryManager",
+    "THPPolicy",
+    "Memhog",
+    "fragment_memory",
+]

@@ -1,0 +1,250 @@
+"""OS memory-management policy: transparent huge pages over the buddy allocator.
+
+This layer stands in for the Linux behaviour the paper measures in §III-C
+and Fig. 3: when an application touches anonymous heap memory, the OS tries
+to back each 2MB-aligned virtual region with a 2MB superpage; when physical
+memory is too fragmented for an order-9 allocation, it falls back to 4KB
+base pages.  It also implements the two page-table transitions SEESAW must
+survive (paper §IV-C2): splintering a superpage into base pages and
+promoting 512 base pages into a superpage, with the associated TLB/TFT
+invalidation hooks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.mem.address import PageSize, align_down, page_base
+from repro.mem.page_table import Mapping, PageTable, TranslationFault
+from repro.mem.physical import PhysicalMemory
+
+#: Callback invoked when a virtual page's translation is invalidated
+#: (splinter / promotion / unmap).  Receives (virtual_base, page_size).
+#: The TLB hierarchy and the TFT both register one of these — this models
+#: the ``invlpg`` instruction SEESAW bootstraps from.
+InvalidationHook = Callable[[int, PageSize], None]
+
+#: Callback invoked when base pages are promoted into a superpage.  SEESAW
+#: sweeps the L1 cache in response (paper §IV-C2).  Receives the new 2MB
+#: virtual base and the physical bases of the 512 retired base pages (whose
+#: cached lines must be evicted).
+PromotionHook = Callable[[int, List[int]], None]
+
+
+class THPPolicy(enum.Enum):
+    """Transparent-huge-page policy, mirroring Linux's sysfs knob."""
+
+    ALWAYS = "always"    # try 2MB first for every eligible region
+    NEVER = "never"      # only 4KB base pages
+    MADVISE = "madvise"  # 2MB only for regions explicitly advised
+
+
+@dataclass
+class MemoryManagerStats:
+    """Allocation-outcome counters used by the Fig. 3 experiment."""
+
+    superpages_allocated: int = 0
+    superpage_fallbacks: int = 0   # wanted 2MB, got 512 x 4KB
+    base_pages_allocated: int = 0
+    superpages_splintered: int = 0
+    superpages_promoted: int = 0
+
+
+class MemoryManager:
+    """Per-system OS memory manager with transparent superpage support.
+
+    Demand paging: the first touch to an unmapped virtual page triggers
+    :meth:`touch`, which installs a mapping according to the THP policy.
+    The manager owns one page table per address-space id (asid).
+    """
+
+    def __init__(self, physical_memory: PhysicalMemory,
+                 thp_policy: THPPolicy = THPPolicy.ALWAYS) -> None:
+        self.physical = physical_memory
+        self.thp_policy = thp_policy
+        self._page_tables: Dict[int, PageTable] = {}
+        self._advised_regions: Set[int] = set()  # 2MB region numbers
+        # (asid, region number) pairs that already fell back to base pages;
+        # skipping them keeps demand faulting O(1) per touch.
+        self._broken_regions: Set[tuple] = set()
+        self._invalidation_hooks: List[InvalidationHook] = []
+        self._promotion_hooks: List[PromotionHook] = []
+        self.stats = MemoryManagerStats()
+
+    # ---------------------------------------------------------------- hooks
+
+    def register_invalidation_hook(self, hook: InvalidationHook) -> None:
+        """Register a TLB/TFT invalidation callback (``invlpg`` model)."""
+        self._invalidation_hooks.append(hook)
+
+    def register_promotion_hook(self, hook: PromotionHook) -> None:
+        """Register a callback fired when base pages collapse to a superpage."""
+        self._promotion_hooks.append(hook)
+
+    def _fire_invalidation(self, virtual_base: int, page_size: PageSize) -> None:
+        for hook in self._invalidation_hooks:
+            hook(virtual_base, page_size)
+
+    # ----------------------------------------------------------- page tables
+
+    def page_table(self, asid: int = 0) -> PageTable:
+        """Get (creating on demand) the page table for an address space."""
+        table = self._page_tables.get(asid)
+        if table is None:
+            table = PageTable(asid=asid)
+            self._page_tables[asid] = table
+        return table
+
+    def madvise_hugepage(self, virtual_address: int) -> None:
+        """Mark the 2MB region containing ``virtual_address`` as huge-eligible."""
+        self._advised_regions.add(
+            virtual_address >> PageSize.SUPER_2MB.offset_bits)
+
+    def _wants_superpage(self, virtual_address: int) -> bool:
+        if self.thp_policy is THPPolicy.ALWAYS:
+            return True
+        if self.thp_policy is THPPolicy.NEVER:
+            return False
+        region = virtual_address >> PageSize.SUPER_2MB.offset_bits
+        return region in self._advised_regions
+
+    # ----------------------------------------------------------------- touch
+
+    def touch(self, virtual_address: int, asid: int = 0) -> Mapping:
+        """Ensure ``virtual_address`` is mapped; return its mapping.
+
+        First touch of a region attempts a 2MB superpage under the ALWAYS /
+        MADVISE policies.  If the buddy allocator cannot produce an aligned
+        2MB block (fragmentation), falls back to a single 4KB page — the
+        mechanism behind Fig. 3's coverage collapse under memhog.
+        """
+        table = self.page_table(asid)
+        try:
+            return table.lookup(virtual_address)
+        except TranslationFault:
+            pass
+        base = page_base(virtual_address, PageSize.SUPER_2MB)
+        region_key = (asid, base >> PageSize.SUPER_2MB.offset_bits)
+        if (self._wants_superpage(virtual_address)
+                and region_key not in self._broken_regions):
+            if self._region_is_free(table, base):
+                physical = self.physical.allocate_page(PageSize.SUPER_2MB)
+                if physical is not None:
+                    self.stats.superpages_allocated += 1
+                    return table.map(base, physical, PageSize.SUPER_2MB)
+                self.stats.superpage_fallbacks += 1
+            self._broken_regions.add(region_key)
+        physical = self.physical.allocate_page(PageSize.BASE_4KB)
+        if physical is None:
+            raise MemoryError("physical memory exhausted")
+        self.stats.base_pages_allocated += 1
+        base = page_base(virtual_address, PageSize.BASE_4KB)
+        return table.map(base, physical, PageSize.BASE_4KB)
+
+    @staticmethod
+    def _region_is_free(table: PageTable, region_base: int) -> bool:
+        """True if no base page inside the 2MB region is already mapped.
+
+        A region that already has 4KB mappings (from an earlier fragmented
+        period) cannot be superpage-backed without promotion, so first-touch
+        superpage allocation only applies to virgin regions.
+        """
+        step = int(PageSize.BASE_4KB)
+        for i in range(int(PageSize.SUPER_2MB) // step):
+            if table.is_mapped(region_base + i * step):
+                return False
+        return True
+
+    def touch_range(self, start: int, length: int, asid: int = 0) -> None:
+        """Demand-fault every base page in ``[start, start + length)``."""
+        step = int(PageSize.BASE_4KB)
+        address = align_down(start, step)
+        end = start + length
+        while address < end:
+            self.touch(address, asid)
+            address += step
+
+    # --------------------------------------------------- splinter / promote
+
+    def splinter_superpage(self, virtual_base: int, asid: int = 0) -> None:
+        """Split a 2MB mapping into base pages, firing invalidations.
+
+        Paper §IV-C2: the OS executes ``invlpg`` for the stale superpage
+        translation; our hook model invalidates TLB entries *and* the TFT
+        entry tagged with this virtual page number.
+        """
+        table = self.page_table(asid)
+        mapping = table.lookup(virtual_base)
+        table.splinter(virtual_base)
+        # Split the compound physical allocation too, so the new base
+        # frames are independently freeable.
+        self.physical.split_superpage(mapping.physical_base)
+        self.stats.superpages_splintered += 1
+        self._fire_invalidation(virtual_base, PageSize.SUPER_2MB)
+
+    def promote_region(self, virtual_base: int, asid: int = 0,
+                       fault_in_missing: bool = False) -> Optional[Mapping]:
+        """Collapse 512 resident base pages into one 2MB superpage.
+
+        Allocates a fresh aligned 2MB physical block (as khugepaged does),
+        retires the old frames, and fires both the invalidation hooks (for
+        the 512 stale base-page translations) and the promotion hooks (the
+        L1 sweep SEESAW requires for correctness).
+
+        Args:
+            fault_in_missing: zero-fill-fault absent base pages before
+                collapsing, as khugepaged does under ``max_ptes_none`` —
+                required when promoting partially resident regions.
+
+        Returns the new mapping, or ``None`` if physical memory is too
+        fragmented to provide a 2MB block or the region is not promotable.
+        """
+        table = self.page_table(asid)
+        step = int(PageSize.BASE_4KB)
+        count = int(PageSize.SUPER_2MB) // step
+        old_mappings = []
+        for i in range(count):
+            va = virtual_base + i * step
+            try:
+                mapping = table.lookup(va)
+            except TranslationFault:
+                if not fault_in_missing:
+                    return None  # region not fully resident
+                physical = self.physical.allocate_page(PageSize.BASE_4KB)
+                if physical is None:
+                    return None
+                self.stats.base_pages_allocated += 1
+                mapping = table.map(va, physical, PageSize.BASE_4KB)
+            if mapping.page_size is not PageSize.BASE_4KB:
+                return None  # already a superpage
+            old_mappings.append(mapping)
+        physical = self.physical.allocate_page(PageSize.SUPER_2MB)
+        if physical is None:
+            return None
+        mapping = table.promote(virtual_base, physical)
+        old_physical_bases = []
+        for old in old_mappings:
+            self.physical.free_page(old.physical_base)
+            self._fire_invalidation(old.virtual_base, PageSize.BASE_4KB)
+            old_physical_bases.append(old.physical_base)
+        for hook in self._promotion_hooks:
+            hook(virtual_base, old_physical_bases)
+        self.stats.superpages_promoted += 1
+        self._broken_regions.discard(
+            (asid, virtual_base >> PageSize.SUPER_2MB.offset_bits))
+        return mapping
+
+    # ------------------------------------------------------------ measurement
+
+    def footprint_superpage_fraction(self, asid: int = 0) -> float:
+        """Fraction of the mapped footprint backed by 2MB superpages (Fig. 3)."""
+        total = 0
+        super_bytes = 0
+        for mapping in self.page_table(asid).mappings():
+            size = int(mapping.page_size)
+            total += size
+            if mapping.is_superpage:
+                super_bytes += size
+        return super_bytes / total if total else 0.0

@@ -1,0 +1,30 @@
+"""Full-system simulation: configuration, the simulator, and experiments.
+
+This package wires every substrate together — OS memory manager, per-core
+TLB hierarchies, L1 design under test (baseline VIPT / PIPT / SEESAW),
+coherence fabric, backing hierarchy, core timing models, and energy
+accounting — into a trace-driven system simulator, plus the experiment
+drivers that regenerate the paper's tables and figures.
+"""
+
+from repro.sim.config import SystemConfig, TABLE2_PARAMETERS
+from repro.sim.stats import SimulationResult
+from repro.sim.system import SystemSimulator, simulate
+from repro.sim.experiment import (
+    compare_designs,
+    improvement_percent,
+    run_workload,
+    sweep,
+)
+
+__all__ = [
+    "SystemConfig",
+    "TABLE2_PARAMETERS",
+    "SimulationResult",
+    "SystemSimulator",
+    "simulate",
+    "compare_designs",
+    "improvement_percent",
+    "run_workload",
+    "sweep",
+]

@@ -1,0 +1,104 @@
+"""Experiment drivers: run, compare, and sweep configurations.
+
+Every figure in the paper is a comparison of SEESAW against a baseline on
+identical traces and identical OS/fragmentation state.  These helpers make
+that pattern one call: the same seeded trace is replayed through freshly
+built systems that differ only in the L1 design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimulationResult
+from repro.sim.system import simulate
+from repro.workloads.suite import WorkloadSpec, build_trace, get_workload
+from repro.workloads.trace import MemoryTrace
+
+
+def run_workload(config: SystemConfig, workload: str,
+                 trace_length: int = 60_000,
+                 seed: int = 42) -> SimulationResult:
+    """Build the named workload's trace and simulate it under ``config``."""
+    trace = build_trace(get_workload(workload), length=trace_length,
+                        seed=seed)
+    return simulate(config, trace)
+
+
+def compare_designs(config: SystemConfig, trace: MemoryTrace,
+                    designs: Sequence[str] = ("vipt", "seesaw"),
+                    ) -> Dict[str, SimulationResult]:
+    """Run ``trace`` under each design with otherwise identical config."""
+    return {design: simulate(config.with_design(design), trace)
+            for design in designs}
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percent improvement of ``improved`` over ``baseline`` (lower=better
+    metrics such as runtime or energy)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def runtime_improvement(results: Dict[str, SimulationResult],
+                        baseline: str = "vipt",
+                        candidate: str = "seesaw") -> float:
+    """Percent runtime improvement of ``candidate`` over ``baseline``."""
+    return improvement_percent(results[baseline].runtime_cycles,
+                               results[candidate].runtime_cycles)
+
+
+def energy_improvement(results: Dict[str, SimulationResult],
+                       baseline: str = "vipt",
+                       candidate: str = "seesaw") -> float:
+    """Percent memory-hierarchy energy improvement."""
+    return improvement_percent(results[baseline].total_energy_nj,
+                               results[candidate].total_energy_nj)
+
+
+def sweep(base_config: SystemConfig,
+          workloads: Iterable[str],
+          trace_length: int = 60_000,
+          seed: int = 42,
+          designs: Sequence[str] = ("vipt", "seesaw"),
+          mutate: Optional[Callable[[SystemConfig, str], SystemConfig]] = None,
+          ) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run several workloads under several designs.
+
+    Returns ``{workload: {design: result}}``.  ``mutate`` may adjust the
+    config per workload (e.g. to scale memory with footprint).
+    """
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    for name in workloads:
+        config = mutate(base_config, name) if mutate else base_config
+        trace = build_trace(get_workload(name), length=trace_length,
+                            seed=seed)
+        out[name] = compare_designs(config, trace, designs=designs)
+    return out
+
+
+def summarize_improvements(
+        results: Dict[str, Dict[str, SimulationResult]],
+        metric: str = "runtime",
+        baseline: str = "vipt",
+        candidate: str = "seesaw") -> Dict[str, float]:
+    """Per-workload percent improvement for ``metric`` (runtime|energy)."""
+    out: Dict[str, float] = {}
+    for name, by_design in results.items():
+        if metric == "runtime":
+            out[name] = runtime_improvement(by_design, baseline, candidate)
+        elif metric == "energy":
+            out[name] = energy_improvement(by_design, baseline, candidate)
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+    return out
+
+
+def min_avg_max(values: Sequence[float]) -> Tuple[float, float, float]:
+    """The (min, mean, max) triple the paper's summary figures report."""
+    if not values:
+        return (0.0, 0.0, 0.0)
+    return (min(values), sum(values) / len(values), max(values))

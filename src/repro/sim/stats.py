@@ -1,0 +1,110 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.energy.accounting import EnergyBreakdown
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, for experiments and reports.
+
+    Attributes:
+        config_description: one-liner of the simulated machine.
+        workload: trace name.
+        runtime_cycles: max over cores (the paper's runtime metric).
+        instructions: total instructions across cores.
+        energy: memory-hierarchy energy breakdown (Figs. 10-12, 15).
+        l1_hits/misses, l1_ways_probed: L1 behaviour.
+        superpage_reference_fraction: fraction of references landing in
+            superpage-backed memory (paper §V reports 53-95%).
+        footprint_superpage_fraction: Fig. 3 metric.
+        tft_*: Fig. 13 inputs (SEESAW runs only).
+        squashes: OoO fast-hit speculation failures (paper §IV-B3).
+        coherence_probes: probes delivered to L1s.
+        extra: free-form per-experiment values.
+    """
+
+    config_description: str
+    workload: str
+    runtime_cycles: int
+    instructions: int
+    energy: EnergyBreakdown
+    l1_hits: int
+    l1_misses: int
+    l1_ways_probed: int
+    superpage_reference_fraction: float
+    footprint_superpage_fraction: float
+    memory_references: int = 0
+    tft_hit_rate: float = 0.0
+    tft_missed_superpage_fraction: float = 0.0
+    tft_missed_superpage_l1_hits: int = 0
+    tft_missed_superpage_l1_misses: int = 0
+    superpage_accesses: int = 0
+    fast_hits: int = 0
+    squashes: int = 0
+    coherence_probes: int = 0
+    coherence_ways_probed: int = 0
+    way_prediction_accuracy: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (aggregate)."""
+        return (self.instructions / self.runtime_cycles
+                if self.runtime_cycles else 0.0)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        accesses = self.l1_hits + self.l1_misses
+        return self.l1_hits / accesses if accesses else 0.0
+
+    @property
+    def l1_mpki(self) -> float:
+        """L1 misses per kilo-instruction."""
+        return (1000.0 * self.l1_misses / self.instructions
+                if self.instructions else 0.0)
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.energy.total_nj
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """Flatten the result (including the energy breakdown) to plain
+        Python types, for JSON export and downstream analysis."""
+        return {
+            "config": self.config_description,
+            "workload": self.workload,
+            "runtime_cycles": self.runtime_cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "memory_references": self.memory_references,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l1_hit_rate": self.l1_hit_rate,
+            "l1_mpki": self.l1_mpki,
+            "l1_ways_probed": self.l1_ways_probed,
+            "superpage_reference_fraction": self.superpage_reference_fraction,
+            "footprint_superpage_fraction": self.footprint_superpage_fraction,
+            "superpage_accesses": self.superpage_accesses,
+            "tft_hit_rate": self.tft_hit_rate,
+            "tft_missed_superpage_fraction": self.tft_missed_superpage_fraction,
+            "fast_hits": self.fast_hits,
+            "squashes": self.squashes,
+            "coherence_probes": self.coherence_probes,
+            "coherence_ways_probed": self.coherence_ways_probed,
+            "way_prediction_accuracy": self.way_prediction_accuracy,
+            "energy_nj": self.energy.as_dict(),
+            "energy_total_nj": self.total_energy_nj,
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON-encode :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,535 @@
+"""The trace-driven full-system simulator.
+
+One :class:`SystemSimulator` wires together, per the configuration:
+
+* a :class:`~repro.mem.physical.PhysicalMemory` fragmented by aging +
+  memhog, managed by a transparent-huge-page
+  :class:`~repro.mem.os_policy.MemoryManager`;
+* per-core split TLB hierarchies (Table II shapes) over a shared page table;
+* the L1 design under test per core (baseline VIPT, PIPT, or SEESAW);
+* a MOESI directory (or snoopy bus) across the L1s;
+* a shared LLC + DRAM behind them;
+* in-order or out-of-order core timing models, with SEESAW's fast-hit
+  speculation resolved through the scheduler model on OoO cores;
+* one energy accountant for the whole memory hierarchy.
+
+The per-reference flow follows the paper's Fig. 4/Table I pipeline: TLB and
+TFT looked up in parallel with L1 set selection, tag compare with the
+physical tag, miss service through the hierarchy, coherence transactions on
+misses and write-upgrades.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.pipt import PiptL1Cache
+from repro.cache.vipt import ViptL1Cache
+from repro.cache.vivt import VivtL1Cache
+from repro.cache.way_predictor import MRUWayPredictor
+from repro.coherence.directory import Directory
+from repro.coherence.snoop import SnoopyBus
+from repro.core.adaptive_wp import WayPredictionGate
+from repro.core.scheduling import SchedulerModel
+from repro.core.seesaw import SeesawL1Cache
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.ooo import OutOfOrderCore
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.sram import SRAMModel
+from repro.mem.fragmentation import Memhog
+from repro.mem.os_policy import MemoryManager
+from repro.mem.page_table import TranslationFault
+from repro.mem.physical import PhysicalMemory
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimulationResult
+from repro.tlb.hierarchy import SplitTLBHierarchy
+from repro.workloads.trace import MemoryTrace
+
+
+class SystemSimulator:
+    """A complete simulated machine running one workload trace."""
+
+    def __init__(self, config: SystemConfig, trace: MemoryTrace) -> None:
+        self.config = config
+        self.trace = trace
+        self.num_cores = max(trace.num_cores, 1)
+        self.sram = SRAMModel()
+        self._rng = np.random.default_rng(config.seed)
+        self._build_os()
+        self._build_cores()
+        self._build_coherence()
+        self.hierarchy = MemoryHierarchy(
+            frequency_ghz=config.frequency_ghz,
+            llc_size=config.llc_size_kb * 1024,
+            llc_ways=config.llc_ways,
+            llc_latency=config.llc_latency,
+            seed=config.seed)
+        self.energy = EnergyAccountant(
+            sram=self.sram,
+            l1_size_bytes=config.l1_size_bytes,
+            l1_ways=(config.pipt_ways if config.l1_design == "pipt"
+                     else config.l1_ways))
+        self._register_hooks()
+        self._recent_lines: List[int] = []
+        self._superpage_references = 0
+        self._region_bases = sorted({a & ~((1 << 21) - 1)
+                                     for a in trace.addresses})
+        self._churn_cursor = 0
+
+    # ----------------------------------------------------------------- build
+
+    def _build_os(self) -> None:
+        config = self.config
+        memory_mb = config.memory_mb
+        if memory_mb is None:
+            # Auto-scale: enough memory that the workload's 2MB-region
+            # spread is a realistic fraction of the machine, as the paper's
+            # 32GB machine relates to its footprints.
+            regions = len({a >> 21 for a in self.trace.addresses})
+            memory_mb = max(32, 8 * regions)
+        self.physical = PhysicalMemory(memory_mb * 1024 * 1024)
+        # Age the system, then apply the experiment's memhog level on top.
+        # Capped below 0.95 so the workload itself can always be paged in.
+        fraction = min(0.90, config.aging_fraction + config.memhog_fraction)
+        if fraction > 0:
+            self.memhog = Memhog(self.physical, fraction, seed=config.seed)
+            self.memhog.run()
+        else:
+            self.memhog = None
+        self.manager = MemoryManager(self.physical,
+                                     thp_policy=config.thp_policy)
+
+    def _build_cores(self) -> None:
+        config = self.config
+        page_table = self.manager.page_table(asid=0)
+        shape = config.tlb_shape()
+        timing = config.l1_timing(self.sram)
+        self.timing = timing
+        self.tlbs: List[SplitTLBHierarchy] = []
+        self.l1s: List = []
+        self.cores: List = []
+        self.schedulers: List[Optional[SchedulerModel]] = []
+        for core_id in range(self.num_cores):
+            tlb = SplitTLBHierarchy(page_table, **shape)
+            self.tlbs.append(tlb)
+            l1 = self._make_l1(core_id, timing)
+            self.l1s.append(l1)
+            if config.core == "inorder":
+                self.cores.append(InOrderCore(
+                    frequency_ghz=config.frequency_ghz))
+            else:
+                self.cores.append(OutOfOrderCore(
+                    frequency_ghz=config.frequency_ghz))
+            scheduler = None
+            if config.core == "ooo" and config.l1_design == "seesaw":
+                scheduler = SchedulerModel(
+                    fast_cycles=timing.super_hit_cycles,
+                    slow_cycles=timing.base_hit_cycles,
+                    policy=config.speculation)
+            self.schedulers.append(scheduler)
+            if isinstance(l1, SeesawL1Cache):
+                l1.attach_to_tlb_hierarchy(tlb)
+                l1.attach_to_memory_manager(self.manager)
+        # TLB shootdowns reach every core's TLBs.
+        for tlb in self.tlbs:
+            self.manager.register_invalidation_hook(
+                lambda vb, ps, _t=tlb: _t.invalidate(vb, ps))
+
+    def _make_l1(self, core_id: int, timing):
+        config = self.config
+        seed = config.seed + 100 * core_id
+        if config.l1_design == "vipt":
+            l1 = ViptL1Cache(config.l1_size_bytes, timing,
+                             name=f"vipt-l1-{core_id}", seed=seed)
+            if config.way_prediction:
+                # WP-only design point (Fig. 15): wrap baseline VIPT in a
+                # SEESAW shell with a single partition (the predictor
+                # machinery is shared) and *flat* timing — without SEESAW
+                # there is no fast lookup, so both latencies are the
+                # baseline's and only the way predictor's energy savings
+                # and misprediction penalties remain.
+                from repro.cache.vipt import L1Timing
+                flat = L1Timing(base_hit_cycles=timing.base_hit_cycles,
+                                super_hit_cycles=timing.base_hit_cycles,
+                                tft_cycles=timing.tft_cycles)
+                predictor = MRUWayPredictor(64, config.l1_ways)
+                l1 = SeesawL1Cache(
+                    config.l1_size_bytes, flat,
+                    partition_ways=config.l1_ways,   # one partition
+                    tft_entries=1,
+                    way_predictor=predictor,
+                    name=f"vipt-wp-l1-{core_id}", seed=seed)
+            return l1
+        if config.l1_design == "pipt":
+            return PiptL1Cache(config.l1_size_bytes, config.pipt_ways,
+                               config.pipt_hit_cycles(self.sram),
+                               tlb_latency=config.pipt_tlb_cycles(),
+                               name=f"pipt-l1-{core_id}", seed=seed)
+        if config.l1_design == "vivt":
+            return VivtL1Cache(config.l1_size_bytes, config.vivt_ways,
+                               config.vivt_hit_cycles(self.sram),
+                               name=f"vivt-l1-{core_id}", seed=seed)
+        predictor = (MRUWayPredictor(64, config.l1_ways)
+                     if config.way_prediction else None)
+        gate = (WayPredictionGate()
+                if (config.way_prediction
+                    and config.adaptive_way_prediction) else None)
+        return SeesawL1Cache(
+            config.l1_size_bytes, timing,
+            partition_ways=config.partition_ways,
+            insertion=config.insertion,
+            tft_entries=config.tft_entries,
+            way_predictor=predictor,
+            wp_gate=gate,
+            name=f"seesaw-l1-{core_id}", seed=seed)
+
+    def _build_coherence(self) -> None:
+        config = self.config
+        if config.coherence == "directory":
+            self.fabric = Directory(self.l1s)
+        elif config.coherence == "snoop":
+            self.fabric = SnoopyBus(self.l1s)
+        else:
+            self.fabric = None
+        if self.fabric is not None:
+            self.fabric.register_probe_listener(
+                lambda core, ways: self.energy.record_l1_lookup(
+                    ways, coherence=True))
+
+    def _register_hooks(self) -> None:
+        for core_id, l1 in enumerate(self.l1s):
+            l1.store.register_eviction_hook(
+                lambda line, dirty, _c=core_id: self._on_l1_eviction(
+                    _c, line, dirty))
+
+    def _on_l1_eviction(self, core_id: int, line_address: int,
+                        dirty: bool) -> None:
+        if dirty:
+            self.hierarchy.writeback(line_address)
+            self.energy.record_llc_access()
+        if self.fabric is not None:
+            self.fabric.evict(core_id, line_address)
+
+    # ------------------------------------------------------------------- run
+
+    def _translate(self, core_id: int, virtual_address: int):
+        """Demand-page then translate through the core's TLB hierarchy."""
+        tlb = self.tlbs[core_id]
+        try:
+            return tlb.translate(virtual_address)
+        except TranslationFault:
+            self.manager.touch(virtual_address)
+            return tlb.translate(virtual_address)
+
+    def _system_probe(self) -> None:
+        """Background OS/IO coherence activity (paper §VI-B: even
+        single-threaded workloads see coherence lookups)."""
+        if not self._recent_lines or self.fabric is None:
+            return
+        line = self._recent_lines[
+            int(self._rng.integers(0, len(self._recent_lines)))]
+        core = int(self._rng.integers(0, self.num_cores))
+        result = self.l1s[core].coherence_probe(line, invalidate=False)
+        self.energy.record_l1_lookup(result.ways_probed, coherence=True)
+
+    def reset_measurements(self) -> None:
+        """Zero every statistics counter while keeping all simulated state.
+
+        Standard trace-simulation methodology: the trace's first portion
+        warms caches/TLBs/page tables, then counters reset so the reported
+        window reflects steady-state behaviour rather than cold-start DRAM
+        traffic.
+        """
+        from repro.cache.basic import CacheStats
+        from repro.coherence.directory import DirectoryStats
+        from repro.coherence.snoop import SnoopStats
+        from repro.core.scheduling import SchedulerStats
+        from repro.core.seesaw import SeesawStats
+        from repro.core.tft import TFTStats
+        from repro.cpu.core import CoreStats
+        from repro.energy.accounting import EnergyBreakdown
+        from repro.tlb.tlb import TLBStats
+
+        for l1 in self.l1s:
+            l1.store.stats = CacheStats()
+            if isinstance(l1, SeesawL1Cache):
+                l1.seesaw_stats = SeesawStats()
+                l1.tft.stats = TFTStats()
+        for tlb in self.tlbs:
+            tlb.l1_4kb.stats = TLBStats()
+            tlb.l1_2mb.stats = TLBStats()
+            if tlb.l2_tlb is not None:
+                tlb.l2_tlb.stats = TLBStats()
+        for core in self.cores:
+            core.stats = CoreStats()
+        for scheduler in self.schedulers:
+            if scheduler is not None:
+                scheduler.stats = SchedulerStats()
+        if self.fabric is not None:
+            self.fabric.stats = (DirectoryStats()
+                                 if isinstance(self.fabric, Directory)
+                                 else SnoopStats())
+        for level in self.hierarchy.levels:
+            level.cache.stats = CacheStats()
+        self.hierarchy.dram.accesses = 0
+        self.energy.breakdown = EnergyBreakdown()
+        self._superpage_references = 0
+        self._measured_references = 0
+
+    def _prewarm(self) -> None:
+        """Bring the system to application steady state before timing.
+
+        The paper measures 10-billion-instruction windows of long-running
+        applications, whose resident footprint has long been paged in and
+        whose LLC working set is warm.  We reproduce that state directly:
+        demand-page every page of the trace's footprint (in first-touch
+        order, so hot regions claim superpages first — matching how a real
+        run's early accesses do) and install the footprint's lines in the
+        LLC.  Compulsory DRAM traffic therefore does not pollute the
+        measured window.
+        """
+        page_table = self.manager.page_table(asid=0)
+        seen_pages = dict.fromkeys(a >> 12 for a in self.trace.addresses)
+        for page in seen_pages:
+            self.manager.touch(page << 12)
+        if not self.hierarchy.levels:
+            return
+        llc = self.hierarchy.levels[-1].cache
+        seen_lines = dict.fromkeys(a >> 6 for a in self.trace.addresses)
+        for line in seen_lines:
+            llc.access(page_table.translate(line << 6))
+
+    def run(self, warmup_fraction: float = 0.25) -> SimulationResult:
+        """Simulate the whole trace and return the result.
+
+        The first ``warmup_fraction`` of references warm the simulated state
+        (caches, TLBs, TFT, page tables, directory); statistics are then
+        reset and only the remainder is measured.
+        """
+        config = self.config
+        is_seesaw = config.l1_design == "seesaw" or (
+            config.l1_design == "vipt" and config.way_prediction)
+        probe_interval = config.system_probe_interval
+        cs_interval = config.context_switch_interval
+        warmup_end = int(len(self.trace) * warmup_fraction)
+        self._measured_references = 0
+        self._prewarm()
+        for index, (va, is_write, core_id, gap) in enumerate(
+                zip(self.trace.addresses, self.trace.writes,
+                    self.trace.cores, self.trace.gaps)):
+            if index == warmup_end and index > 0:
+                self.reset_measurements()
+            self._measured_references += 1
+            core = self.cores[core_id]
+            l1 = self.l1s[core_id]
+            core.advance(gap)
+
+            translation = self._translate(core_id, va)
+            self.energy.record_tlb_lookup(
+                1 if translation.level == "l1" else 2)
+            if is_seesaw:
+                self.energy.record_tft_lookup()
+            pa = translation.physical_address
+            if translation.is_superpage:
+                self._superpage_references += 1
+
+            result = l1.access(va, pa, translation.page_size,
+                               is_write=is_write)
+            self.energy.record_l1_lookup(result.ways_probed)
+            # TLB latency beyond the one overlapped L1-TLB cycle stalls the
+            # physical tag compare.
+            extra_tlb = max(0, translation.latency_cycles - 1)
+
+            scheduler = self.schedulers[core_id]
+            if result.hit:
+                if scheduler is not None:
+                    tlb = self.tlbs[core_id]
+                    assumed_fast = scheduler.assume_fast(
+                        tlb.superpage_l1_valid_entries(),
+                        tlb.superpage_l1_capacity())
+                    outcome = scheduler.resolve_hit(assumed_fast,
+                                                    result.latency_cycles)
+                    latency = outcome.effective_latency_cycles
+                else:
+                    latency = result.latency_cycles
+                core.account_memory(True, latency + extra_tlb)
+                if is_write and self.fabric is not None \
+                        and self.fabric.sharer_count(pa) > 1:
+                    self.fabric.cpu_write(core_id, pa)
+            else:
+                miss = self.hierarchy.service_miss(pa, is_write=is_write)
+                if miss.llc_accessed:
+                    self.energy.record_llc_access()
+                if miss.l2_accessed:
+                    self.energy.record_l2_access()
+                if miss.dram_accessed:
+                    self.energy.record_dram_access()
+                if self.fabric is not None:
+                    if is_write:
+                        self.fabric.cpu_write(core_id, pa)
+                    else:
+                        self.fabric.cpu_read(core_id, pa)
+                if isinstance(l1, VivtL1Cache):
+                    l1.fill(va, pa, translation.page_size, dirty=is_write)
+                else:
+                    l1.fill(pa, translation.page_size, dirty=is_write)
+                self.energy.record_l1_fill(1)
+                total = (result.miss_detect_cycles + miss.latency_cycles
+                         + extra_tlb)
+                core.account_memory(False, total)
+
+            line = pa & ~63
+            recent = self._recent_lines
+            if len(recent) < 64:
+                recent.append(line)
+            else:
+                recent[index & 63] = line
+            if probe_interval and index % probe_interval == probe_interval - 1:
+                self._system_probe()
+            if cs_interval and index % cs_interval == cs_interval - 1:
+                for cache in self.l1s:
+                    if isinstance(cache, SeesawL1Cache):
+                        cache.on_context_switch()
+                    elif isinstance(cache, VivtL1Cache):
+                        cache.flush()     # no ASID tags: full flush
+            if (config.splinter_interval
+                    and index % config.splinter_interval
+                    == config.splinter_interval - 1):
+                self._churn_splinter()
+            if (config.promote_interval
+                    and index % config.promote_interval
+                    == config.promote_interval - 1):
+                self._churn_promote()
+        return self._collect()
+
+    # ------------------------------------------------------------ page churn
+
+    def _churn_splinter(self) -> None:
+        """Splinter the next superpage-backed region of the workload's
+        heap (models the OS breaking a huge page, paper §IV-C2)."""
+        from repro.mem.address import PageSize
+        table = self.manager.page_table(asid=0)
+        for _ in range(len(self._region_bases)):
+            base = self._region_bases[self._churn_cursor
+                                      % len(self._region_bases)]
+            self._churn_cursor += 1
+            try:
+                if table.page_size_of(base) is PageSize.SUPER_2MB:
+                    self.manager.splinter_superpage(base)
+                    return
+            except Exception:
+                continue
+
+    def _churn_promote(self) -> None:
+        """Promote the next base-page-backed region (khugepaged model);
+        SEESAW caches sweep the retired frames via their promotion hook."""
+        from repro.mem.address import PageSize
+        table = self.manager.page_table(asid=0)
+        for _ in range(len(self._region_bases)):
+            base = self._region_bases[self._churn_cursor
+                                      % len(self._region_bases)]
+            self._churn_cursor += 1
+            try:
+                if table.page_size_of(base) is PageSize.BASE_4KB:
+                    self.manager.promote_region(base, fault_in_missing=True)
+                    return
+            except Exception:
+                continue
+
+    # ----------------------------------------------------------------- stats
+
+    def _region_coverage(self) -> float:
+        """Fraction of the workload's touched 2MB regions that are
+        superpage-backed — the Fig. 3 footprint metric.
+
+        Region-based rather than byte-based: the synthetic heaps only
+        partially fill each region, so byte accounting would weigh a
+        superpage region (2MB resident) against just the touched pages of
+        a fallback region and overstate coverage.
+        """
+        from repro.mem.address import PageSize
+        from repro.mem.page_table import TranslationFault
+        table = self.manager.page_table(asid=0)
+        representative = {}
+        for address in self.trace.addresses:
+            representative.setdefault(address >> 21, address)
+        if not representative:
+            return 0.0
+        covered = 0
+        for address in representative.values():
+            try:
+                if table.page_size_of(address) is PageSize.SUPER_2MB:
+                    covered += 1
+            except TranslationFault:
+                pass
+        return covered / len(representative)
+
+    def _collect(self) -> SimulationResult:
+        config = self.config
+        runtime = round(max(core.stats.cycles for core in self.cores))
+        # Promotion sweeps (if any page churn was driven externally) stall
+        # the machine; charge the longest core.
+        for l1 in self.l1s:
+            if isinstance(l1, SeesawL1Cache):
+                runtime += l1.seesaw_stats.promotion_sweep_cycles
+        instructions = sum(core.stats.instructions for core in self.cores)
+        self.energy.record_runtime(runtime, config.frequency_ghz)
+
+        l1_hits = sum(l1.stats.hits for l1 in self.l1s)
+        l1_misses = sum(l1.stats.misses for l1 in self.l1s)
+        l1_ways = sum(l1.stats.ways_probed for l1 in self.l1s)
+        references = self._measured_references or len(self.trace)
+        result = SimulationResult(
+            config_description=config.describe(),
+            workload=self.trace.name,
+            runtime_cycles=runtime,
+            instructions=instructions,
+            energy=self.energy.breakdown,
+            l1_hits=l1_hits,
+            l1_misses=l1_misses,
+            l1_ways_probed=l1_ways,
+            memory_references=references,
+            superpage_reference_fraction=(
+                self._superpage_references / references if references else 0.0),
+            footprint_superpage_fraction=self._region_coverage(),
+        )
+        seesaw_l1s = [l1 for l1 in self.l1s if isinstance(l1, SeesawL1Cache)]
+        if seesaw_l1s:
+            lookups = sum(l1.tft.stats.lookups for l1 in seesaw_l1s)
+            hits = sum(l1.tft.stats.hits for l1 in seesaw_l1s)
+            result.tft_hit_rate = hits / lookups if lookups else 0.0
+            super_acc = sum(l1.seesaw_stats.superpage_accesses
+                            for l1 in seesaw_l1s)
+            missed_h = sum(l1.seesaw_stats.tft_missed_superpage_l1_hits
+                           for l1 in seesaw_l1s)
+            missed_m = sum(l1.seesaw_stats.tft_missed_superpage_l1_misses
+                           for l1 in seesaw_l1s)
+            result.tft_missed_superpage_l1_hits = missed_h
+            result.tft_missed_superpage_l1_misses = missed_m
+            result.superpage_accesses = super_acc
+            result.tft_missed_superpage_fraction = (
+                (missed_h + missed_m) / super_acc if super_acc else 0.0)
+            result.fast_hits = sum(l1.seesaw_stats.fast_hits
+                                   for l1 in seesaw_l1s)
+            result.coherence_probes = sum(l1.seesaw_stats.coherence_probes
+                                          for l1 in seesaw_l1s)
+            result.coherence_ways_probed = sum(
+                l1.seesaw_stats.coherence_ways_probed for l1 in seesaw_l1s)
+            predictors = [l1.way_predictor for l1 in seesaw_l1s
+                          if l1.way_predictor is not None]
+            if predictors:
+                predictions = sum(p.stats.predictions for p in predictors)
+                correct = sum(p.stats.correct for p in predictors)
+                result.way_prediction_accuracy = (
+                    correct / predictions if predictions else 0.0)
+        result.squashes = sum(s.stats.squashes for s in self.schedulers
+                              if s is not None)
+        return result
+
+
+def simulate(config: SystemConfig, trace: MemoryTrace) -> SimulationResult:
+    """Build a system for ``config`` and run ``trace`` through it."""
+    return SystemSimulator(config, trace).run()

@@ -1,0 +1,244 @@
+"""TLB hierarchies: split (Intel-style) and unified (ARM/Sparc-style) L1s
+backed by a unified L2 TLB and a page walker.
+
+The hierarchy is where the Translation Filter Table hooks in (paper Fig. 5):
+TFT fills happen on page-walk completions for 2MB leaves and on any fill
+into the 2MB L1 TLB (including L2 TLB hits).  The hierarchy therefore
+exposes a fill callback the SEESAW cache registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.mem.address import PageSize
+from repro.mem.page_table import PageTable
+from repro.tlb.tlb import TLB, TLBEntry
+from repro.tlb.walker import PageWalker
+
+#: Callback fired whenever a translation enters the L1 TLB level.
+#: Receives the TLBEntry that was filled.  SEESAW's TFT registers one.
+FillHook = Callable[[TLBEntry], None]
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a full hierarchy translation."""
+
+    physical_address: int
+    page_size: PageSize
+    #: where the translation was found: "l1", "l2", or "walk"
+    level: str
+    latency_cycles: int
+
+    @property
+    def is_superpage(self) -> bool:
+        return self.page_size.is_superpage
+
+
+class TLBHierarchy:
+    """Base class: common L2-TLB + walker machinery and fill hooks."""
+
+    def __init__(self, l2_tlb: Optional[TLB], walker: PageWalker,
+                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+        self.l2_tlb = l2_tlb
+        self.walker = walker
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self._fill_hooks: List[FillHook] = []
+
+    # ---------------------------------------------------------------- hooks
+
+    def register_fill_hook(self, hook: FillHook) -> None:
+        """Register a callback fired on every L1-level fill (TFT update path)."""
+        self._fill_hooks.append(hook)
+
+    def _fire_fill(self, entry: TLBEntry) -> None:
+        for hook in self._fill_hooks:
+            hook(entry)
+
+    # ------------------------------------------------------------- interface
+
+    def _l1_lookup(self, virtual_address: int, asid: int) -> Optional[TLBEntry]:
+        raise NotImplementedError
+
+    def _l1_fill(self, entry: TLBEntry) -> None:
+        raise NotImplementedError
+
+    def invalidate(self, virtual_base: int, page_size: PageSize,
+                   asid: int = 0) -> None:
+        raise NotImplementedError
+
+    def superpage_l1_valid_entries(self) -> int:
+        """Valid 2MB-page entries at the L1 level (scheduler scarcity counter)."""
+        raise NotImplementedError
+
+    def superpage_l1_capacity(self) -> int:
+        """Capacity of the L1 structure(s) that can hold 2MB entries."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ translation
+
+    def translate(self, virtual_address: int,
+                  asid: int = 0) -> TranslationResult:
+        """Translate a VA through L1 TLBs → L2 TLB → page walk.
+
+        Misses at each level fill the levels above; L1 fills fire the fill
+        hooks so the TFT stays in sync (paper Fig. 5 steps 6-8).
+        """
+        entry = self._l1_lookup(virtual_address, asid)
+        if entry is not None:
+            offset = virtual_address & (int(entry.page_size) - 1)
+            return TranslationResult(
+                physical_address=entry.physical_base() | offset,
+                page_size=entry.page_size,
+                level="l1",
+                latency_cycles=self.l1_latency,
+            )
+        latency = self.l1_latency
+        if self.l2_tlb is not None:
+            latency += self.l2_latency
+            l2_entry = self.l2_tlb.lookup(virtual_address, asid)
+            if l2_entry is not None:
+                filled = TLBEntry(l2_entry.virtual_page, l2_entry.physical_page,
+                                  l2_entry.page_size, asid)
+                self._l1_fill(filled)
+                self._fire_fill(filled)
+                offset = virtual_address & (int(l2_entry.page_size) - 1)
+                return TranslationResult(
+                    physical_address=l2_entry.physical_base() | offset,
+                    page_size=l2_entry.page_size,
+                    level="l2",
+                    latency_cycles=latency,
+                )
+        walk = self.walker.walk(virtual_address)
+        latency += walk.latency_cycles
+        mapping = walk.mapping
+        vpn = mapping.virtual_base >> mapping.page_size.offset_bits
+        ppn = mapping.physical_base >> mapping.page_size.offset_bits
+        if self.l2_tlb is not None and mapping.page_size in self.l2_tlb.page_sizes:
+            self.l2_tlb.fill(vpn, ppn, mapping.page_size, asid)
+        filled = TLBEntry(vpn, ppn, mapping.page_size, asid)
+        self._l1_fill(filled)
+        self._fire_fill(filled)
+        return TranslationResult(
+            physical_address=mapping.translate(virtual_address),
+            page_size=mapping.page_size,
+            level="walk",
+            latency_cycles=latency,
+        )
+
+
+class SplitTLBHierarchy(TLBHierarchy):
+    """Intel-style hierarchy: separate L1 TLBs per page size, unified L2.
+
+    Args:
+        l1_4kb_entries / l1_2mb_entries / l1_1gb_entries: sizes of the split
+            L1 TLBs (Table II: Sandybridge 128/16, Atom 64/32).  Zero
+            disables a structure (e.g. no 1GB L1 TLB on Atom).
+        l2_entries: unified L2 TLB size (0 disables; Atom uses 512,
+            Sandybridge in the paper's Table II has no L2).
+    """
+
+    def __init__(self, page_table: PageTable,
+                 l1_4kb_entries: int = 128, l1_4kb_ways: int = 4,
+                 l1_2mb_entries: int = 16, l1_2mb_ways: int = 4,
+                 l1_1gb_entries: int = 0, l1_1gb_ways: int = 4,
+                 l2_entries: int = 0, l2_ways: int = 8,
+                 walker: Optional[PageWalker] = None,
+                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+        l2_tlb = None
+        if l2_entries:
+            l2_tlb = TLB(l2_entries, l2_ways,
+                         (PageSize.BASE_4KB, PageSize.SUPER_2MB), name="l2")
+        super().__init__(l2_tlb, walker or PageWalker(page_table),
+                         l1_latency, l2_latency)
+        self.l1_4kb = TLB(l1_4kb_entries, min(l1_4kb_ways, l1_4kb_entries),
+                          (PageSize.BASE_4KB,), name="l1-4kb")
+        self.l1_2mb = TLB(l1_2mb_entries, min(l1_2mb_ways, l1_2mb_entries),
+                          (PageSize.SUPER_2MB,), name="l1-2mb")
+        self.l1_1gb = None
+        if l1_1gb_entries:
+            self.l1_1gb = TLB(l1_1gb_entries,
+                              min(l1_1gb_ways, l1_1gb_entries),
+                              (PageSize.SUPER_1GB,), name="l1-1gb")
+
+    def _l1_tlbs(self) -> List[TLB]:
+        tlbs = [self.l1_4kb, self.l1_2mb]
+        if self.l1_1gb is not None:
+            tlbs.append(self.l1_1gb)
+        return tlbs
+
+    def _l1_lookup(self, virtual_address: int, asid: int) -> Optional[TLBEntry]:
+        # Hardware probes the split L1 TLBs in parallel; at most one can hit.
+        hit = None
+        for tlb in self._l1_tlbs():
+            entry = tlb.lookup(virtual_address, asid)
+            if entry is not None:
+                hit = entry
+        return hit
+
+    def _l1_fill(self, entry: TLBEntry) -> None:
+        table = {
+            PageSize.BASE_4KB: self.l1_4kb,
+            PageSize.SUPER_2MB: self.l1_2mb,
+            PageSize.SUPER_1GB: self.l1_1gb,
+        }[entry.page_size]
+        if table is not None:
+            table.fill(entry.virtual_page, entry.physical_page,
+                       entry.page_size, entry.asid)
+
+    def invalidate(self, virtual_base: int, page_size: PageSize,
+                   asid: int = 0) -> None:
+        """``invlpg``: drop the translation from every level that may hold it."""
+        for tlb in self._l1_tlbs():
+            if page_size in tlb.page_sizes:
+                tlb.invalidate(virtual_base, page_size, asid)
+        if self.l2_tlb is not None and page_size in self.l2_tlb.page_sizes:
+            self.l2_tlb.invalidate(virtual_base, page_size, asid)
+
+    def superpage_l1_valid_entries(self) -> int:
+        return self.l1_2mb.valid_entry_count(PageSize.SUPER_2MB)
+
+    def superpage_l1_capacity(self) -> int:
+        return self.l1_2mb.entries
+
+
+class UnifiedTLBHierarchy(TLBHierarchy):
+    """ARM/Sparc-style hierarchy: one fully-associative multi-size L1 TLB."""
+
+    def __init__(self, page_table: PageTable,
+                 l1_entries: int = 48,
+                 l2_entries: int = 1024, l2_ways: int = 8,
+                 walker: Optional[PageWalker] = None,
+                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+        l2_tlb = None
+        if l2_entries:
+            l2_tlb = TLB(l2_entries, l2_ways,
+                         (PageSize.BASE_4KB, PageSize.SUPER_2MB), name="l2")
+        super().__init__(l2_tlb, walker or PageWalker(page_table),
+                         l1_latency, l2_latency)
+        self.l1 = TLB(l1_entries, l1_entries,
+                      (PageSize.BASE_4KB, PageSize.SUPER_2MB,
+                       PageSize.SUPER_1GB),
+                      name="l1-unified")
+
+    def _l1_lookup(self, virtual_address: int, asid: int) -> Optional[TLBEntry]:
+        return self.l1.lookup(virtual_address, asid)
+
+    def _l1_fill(self, entry: TLBEntry) -> None:
+        self.l1.fill(entry.virtual_page, entry.physical_page,
+                     entry.page_size, entry.asid)
+
+    def invalidate(self, virtual_base: int, page_size: PageSize,
+                   asid: int = 0) -> None:
+        self.l1.invalidate(virtual_base, page_size, asid)
+        if self.l2_tlb is not None and page_size in self.l2_tlb.page_sizes:
+            self.l2_tlb.invalidate(virtual_base, page_size, asid)
+
+    def superpage_l1_valid_entries(self) -> int:
+        return self.l1.valid_entry_count(PageSize.SUPER_2MB)
+
+    def superpage_l1_capacity(self) -> int:
+        return self.l1.entries

@@ -1,0 +1,47 @@
+"""Workloads: memory-trace format, synthetic generators, and the paper's suite.
+
+The paper drives its evaluation with Pin-collected traces of SPEC, PARSEC,
+CloudSuite, BioBench, and server workloads (§V).  We cannot ship those
+traces, so each workload is replaced by a seeded synthetic generator tuned
+to the characteristics that actually drive SEESAW's results: footprint,
+access locality (zipf/streaming/pointer-chase mix), write fraction,
+thread count and sharing (coherence traffic), and the resulting fraction of
+references landing in superpages (the paper reports 53-95%).
+"""
+
+from repro.workloads.trace import MemoryTrace, TraceRecord
+from repro.workloads.generators import (
+    PatternGenerator,
+    ZipfGenerator,
+    StreamGenerator,
+    PointerChaseGenerator,
+    UniformRandomGenerator,
+    MixedGenerator,
+)
+from repro.workloads.suite import (
+    WorkloadSpec,
+    WORKLOADS,
+    CLOUD_WORKLOADS,
+    FRAGMENTATION_WORKLOADS,
+    workload_names,
+    build_trace,
+    get_workload,
+)
+
+__all__ = [
+    "MemoryTrace",
+    "TraceRecord",
+    "PatternGenerator",
+    "ZipfGenerator",
+    "StreamGenerator",
+    "PointerChaseGenerator",
+    "UniformRandomGenerator",
+    "MixedGenerator",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "CLOUD_WORKLOADS",
+    "FRAGMENTATION_WORKLOADS",
+    "workload_names",
+    "build_trace",
+    "get_workload",
+]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.vipt import L1Timing
+from repro.mem.address import PageSize
+from repro.mem.os_policy import MemoryManager, THPPolicy
+from repro.mem.page_table import PageTable
+from repro.mem.physical import PhysicalMemory
+
+
+@pytest.fixture
+def physical_memory():
+    """64MB of physical memory backed by the buddy allocator."""
+    return PhysicalMemory(64 * 1024 * 1024)
+
+
+@pytest.fixture
+def memory_manager(physical_memory):
+    """A THP-always memory manager over the physical memory fixture."""
+    return MemoryManager(physical_memory, thp_policy=THPPolicy.ALWAYS)
+
+
+@pytest.fixture
+def page_table():
+    """An empty page table (asid 0)."""
+    return PageTable(asid=0)
+
+
+@pytest.fixture
+def timing_32kb():
+    """Paper Table III row: 32KB at 1.33GHz (base 2 cycles, super 1)."""
+    return L1Timing(base_hit_cycles=2, super_hit_cycles=1, tft_cycles=1)
+
+
+@pytest.fixture
+def timing_64kb():
+    """Paper Table III row: 64KB at 1.33GHz (base 5 cycles, super 1)."""
+    return L1Timing(base_hit_cycles=5, super_hit_cycles=1, tft_cycles=1)
+
+
+def make_superpage_mapping(manager: MemoryManager, virtual_base: int):
+    """Force a 2MB mapping at ``virtual_base`` and return it."""
+    mapping = manager.touch(virtual_base)
+    assert mapping.page_size is PageSize.SUPER_2MB, (
+        "test environment could not allocate a superpage")
+    return mapping

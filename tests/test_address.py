@@ -1,0 +1,103 @@
+"""Tests for address arithmetic and page-size definitions."""
+
+import pytest
+
+from repro.mem.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE_1GB,
+    PAGE_SIZE_2MB,
+    PAGE_SIZE_4KB,
+    PageSize,
+    align_down,
+    align_up,
+    cache_line_number,
+    compose_physical_address,
+    is_aligned,
+    page_base,
+    page_number,
+    page_offset,
+    page_offset_bits,
+    region_2mb,
+)
+
+
+class TestPageSize:
+    def test_enum_values_are_sizes_in_bytes(self):
+        assert int(PageSize.BASE_4KB) == 4096
+        assert int(PageSize.SUPER_2MB) == 2 * 1024 * 1024
+        assert int(PageSize.SUPER_1GB) == 1024 ** 3
+
+    def test_offset_bits_match_the_paper(self):
+        # Paper §I: 12-bit, 21-bit, and 30-bit page offsets.
+        assert PageSize.BASE_4KB.offset_bits == 12
+        assert PageSize.SUPER_2MB.offset_bits == 21
+        assert PageSize.SUPER_1GB.offset_bits == 30
+
+    def test_superpage_flag(self):
+        assert not PageSize.BASE_4KB.is_superpage
+        assert PageSize.SUPER_2MB.is_superpage
+        assert PageSize.SUPER_1GB.is_superpage
+
+    def test_from_bytes_round_trips(self):
+        for size in PageSize:
+            assert PageSize.from_bytes(int(size)) is size
+
+    def test_from_bytes_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            PageSize.from_bytes(8192)
+
+    def test_page_offset_bits_helper(self):
+        assert page_offset_bits(PageSize.SUPER_2MB) == 21
+
+
+class TestAddressSplit:
+    def test_page_number_and_offset_recompose(self):
+        va = 0x1234_5678_9ABC
+        for size in PageSize:
+            vpn = page_number(va, size)
+            off = page_offset(va, size)
+            assert (vpn << size.offset_bits) | off == va
+
+    def test_page_base_is_aligned(self):
+        va = 0xDEAD_BEEF_0
+        for size in PageSize:
+            base = page_base(va, size)
+            assert base % int(size) == 0
+            assert base <= va < base + int(size)
+
+    def test_offset_bounded_by_page_size(self):
+        for size in PageSize:
+            assert page_offset(int(size) - 1, size) == int(size) - 1
+            assert page_offset(int(size), size) == 0
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("alignment", [64, 4096, PAGE_SIZE_2MB])
+    def test_align_down_up_bracket_value(self, alignment):
+        value = alignment * 3 + alignment // 2
+        assert align_down(value, alignment) == alignment * 3
+        assert align_up(value, alignment) == alignment * 4
+
+    def test_align_noop_when_aligned(self):
+        assert align_down(8192, 4096) == 8192
+        assert align_up(8192, 4096) == 8192
+
+    def test_is_aligned(self):
+        assert is_aligned(PAGE_SIZE_2MB, PAGE_SIZE_4KB)
+        assert not is_aligned(PAGE_SIZE_4KB + 1, PAGE_SIZE_4KB)
+
+
+class TestLineAndRegion:
+    def test_cache_line_number_uses_6_offset_bits(self):
+        assert CACHE_LINE_SIZE == 64
+        assert cache_line_number(0) == 0
+        assert cache_line_number(63) == 0
+        assert cache_line_number(64) == 1
+
+    def test_region_2mb_is_va_shifted_21(self):
+        # Paper §IV-A2: the TFT tags 2MB regions with VA[63:21].
+        va = 5 * PAGE_SIZE_2MB + 1234
+        assert region_2mb(va) == 5
+
+    def test_compose_physical_address(self):
+        assert compose_physical_address(0x40000, 0x123) == 0x40123

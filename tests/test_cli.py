@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_machine_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "redis", "--size-kb", "64", "--freq", "2.8",
+             "--core", "inorder", "--length", "500"])
+        assert args.workload == "redis"
+        assert args.size_kb == 64
+        assert args.core == "inorder"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "redis", "--design", "magic"])
+
+
+class TestCommands:
+    def test_workloads_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "redis" in out and "gups" in out
+
+    def test_table3_prints_paper_values(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "128KB" in out and "42" in out
+
+    def test_run_text_output(self, capsys):
+        assert main(["run", "astar", "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_cycles" in out
+        assert "tft_hit_rate" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "astar", "--length", "2000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "astar"
+        assert payload["runtime_cycles"] > 0
+
+    def test_compare_reports_improvements(self, capsys):
+        assert main(["compare", "redis", "--size-kb", "64",
+                     "--length", "4000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "runtime_improvement_pct" in payload
+        assert payload["candidate"]["workload"] == "redis"
+
+    def test_sweep_over_selected_workloads(self, capsys):
+        assert main(["sweep", "--workloads", "astar", "omnet",
+                     "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "astar" in out and "omnet" in out
+
+    def test_compare_against_pipt_baseline(self, capsys):
+        assert main(["compare", "astar", "--baseline", "pipt",
+                     "--length", "2000"]) == 0
+        assert "vs pipt" in capsys.readouterr().out

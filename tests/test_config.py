@@ -1,0 +1,76 @@
+"""Tests for SystemConfig (paper Tables II/III wiring)."""
+
+import pytest
+
+from repro.core.insertion import InsertionPolicy
+from repro.energy.sram import SRAMModel
+from repro.sim.config import TABLE2_PARAMETERS, SystemConfig
+
+
+class TestValidation:
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l1_design="fully-magic")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core="vliw")
+
+    def test_unknown_coherence_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(coherence="token")
+
+
+class TestDerived:
+    def test_l1_ways_from_vipt_constraint(self):
+        assert SystemConfig(l1_size_kb=32).l1_ways == 8
+        assert SystemConfig(l1_size_kb=64).l1_ways == 16
+        assert SystemConfig(l1_size_kb=128).l1_ways == 32
+
+    def test_timing_uses_table3_for_published_points(self):
+        config = SystemConfig(l1_size_kb=128, frequency_ghz=4.0)
+        timing = config.l1_timing()
+        assert timing.base_hit_cycles == 42
+        assert timing.super_hit_cycles == 4
+
+    def test_timing_falls_back_to_sram_model(self):
+        config = SystemConfig(l1_size_kb=32, frequency_ghz=2.0)
+        timing = config.l1_timing(SRAMModel())
+        assert timing.base_hit_cycles >= timing.super_hit_cycles >= 1
+
+    def test_pipt_hit_cycles_reasonable(self):
+        config = SystemConfig(l1_design="pipt", l1_size_kb=128, pipt_ways=4,
+                              frequency_ghz=1.33)
+        cycles = config.pipt_hit_cycles()
+        # A 4-way 128KB PIPT array is far faster than the 14-cycle 32-way
+        # VIPT baseline (the Fig. 14 trade-off).
+        assert 1 <= cycles < 14
+
+    def test_tlb_shapes_match_table2(self):
+        atom = SystemConfig(core="inorder").tlb_shape()
+        assert atom["l1_4kb_entries"] == 64
+        assert atom["l1_2mb_entries"] == 32
+        assert atom["l2_entries"] == 512
+        sandybridge = SystemConfig(core="ooo").tlb_shape()
+        assert sandybridge["l1_4kb_entries"] == 128
+        assert sandybridge["l1_2mb_entries"] == 16
+        assert sandybridge["l2_entries"] == 0
+
+    def test_with_design_clones(self):
+        config = SystemConfig(l1_design="seesaw", l1_size_kb=64)
+        clone = config.with_design("vipt")
+        assert clone.l1_design == "vipt"
+        assert clone.l1_size_kb == 64
+        assert config.l1_design == "seesaw"
+
+    def test_describe_mentions_key_facts(self):
+        text = SystemConfig(l1_size_kb=64, memhog_fraction=0.3).describe()
+        assert "64KB" in text and "30%" in text
+
+
+class TestTable2Record:
+    def test_table2_sections(self):
+        assert set(TABLE2_PARAMETERS) == {"cpu_models", "memory_system",
+                                          "system"}
+        assert "24MB" in TABLE2_PARAMETERS["memory_system"]["llc"]
+        assert "51ns" in TABLE2_PARAMETERS["memory_system"]["dram"]

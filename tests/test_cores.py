@@ -1,0 +1,78 @@
+"""Tests for the in-order and out-of-order core timing models."""
+
+import pytest
+
+from repro.cpu.core import CoreModel
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.ooo import OutOfOrderCore
+
+
+class TestCommon:
+    def test_advance_charges_frontend_cycles(self):
+        core = OutOfOrderCore(issue_width=4)
+        core.advance(gap_instructions=7)   # 8 instructions total
+        assert core.stats.instructions == 8
+        assert core.stats.cycles == pytest.approx(2.0)
+        assert core.stats.memory_references == 1
+
+    def test_charge_cycles(self):
+        core = InOrderCore()
+        core.charge_cycles(175)
+        assert core.stats.cycles == 175
+
+    def test_runtime_rounding(self):
+        core = OutOfOrderCore(issue_width=4)
+        core.advance(0)                     # 0.25 cycles
+        assert isinstance(core.runtime_cycles, int)
+
+    def test_runtime_seconds(self):
+        core = InOrderCore(frequency_ghz=1.0)
+        core.charge_cycles(1_000_000_000)
+        assert core.runtime_seconds() == pytest.approx(1.0)
+
+    def test_ipc(self):
+        core = InOrderCore(issue_width=2)
+        core.advance(3)
+        assert core.stats.ipc == pytest.approx(2.0)
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            CoreModel().memory_stall(True, 2)
+
+
+class TestLatencyExposure:
+    def test_inorder_exposes_more_than_ooo(self):
+        inorder = InOrderCore()
+        ooo = OutOfOrderCore()
+        for latency in (1, 2, 5, 14):
+            assert (inorder.memory_stall(True, latency)
+                    > ooo.memory_stall(True, latency))
+
+    def test_hit_exposure_grows_sublinearly(self):
+        """Doubling the L1 latency must not double the stall: pipelined
+        L1s + OoO windows hide proportionally more of longer latencies."""
+        core = OutOfOrderCore()
+        s2 = core.memory_stall(True, 2)
+        s14 = core.memory_stall(True, 14)
+        assert s14 > s2
+        assert s14 / s2 < 14 / 2
+
+    def test_one_cycle_saving_visible_in_stall(self):
+        """The regression that motivated float cycle accounting: a 2->1
+        cycle L1 improvement must reduce the charged stall."""
+        for core in (OutOfOrderCore(), InOrderCore()):
+            assert core.memory_stall(True, 1) < core.memory_stall(True, 2)
+
+    def test_misses_overlap_by_mlp(self):
+        core = OutOfOrderCore(miss_mlp=2.0)
+        assert core.memory_stall(False, 40) == pytest.approx(20.0)
+
+    def test_inorder_misses_barely_overlap(self):
+        core = InOrderCore(miss_overlap_factor=1.3)
+        assert core.memory_stall(False, 39) == pytest.approx(30.0)
+
+    def test_account_memory_accumulates(self):
+        core = InOrderCore()
+        stall = core.account_memory(False, 40)
+        assert core.stats.stall_cycles == stall
+        assert core.stats.cycles == stall

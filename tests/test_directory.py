@@ -1,0 +1,147 @@
+"""Tests for directory and snoopy coherence fabrics."""
+
+import pytest
+
+from repro.cache.vipt import L1Timing, ViptL1Cache
+from repro.coherence.directory import Directory
+from repro.coherence.snoop import SnoopyBus
+from repro.core.seesaw import SeesawL1Cache
+from repro.mem.address import PageSize
+
+TIMING = L1Timing(base_hit_cycles=2, super_hit_cycles=1)
+
+
+def make_l1s(n=4, seesaw=False):
+    if seesaw:
+        return [SeesawL1Cache(32 * 1024, TIMING, seed=i) for i in range(n)]
+    return [ViptL1Cache(32 * 1024, TIMING, seed=i) for i in range(n)]
+
+
+class TestDirectoryReads:
+    def test_read_registers_sharer(self):
+        directory = Directory(make_l1s())
+        directory.cpu_read(0, 0x1000)
+        assert directory.sharer_count(0x1000) == 1
+
+    def test_read_of_dirty_line_forwards_from_owner(self):
+        caches = make_l1s()
+        directory = Directory(caches)
+        caches[1].fill(0x1000, PageSize.BASE_4KB, dirty=True)
+        directory.cpu_write(1, 0x1000)
+        forwarded = directory.cpu_read(0, 0x1000)
+        assert forwarded
+        assert directory.stats.owner_forwards == 1
+
+    def test_read_without_owner_does_not_probe(self):
+        directory = Directory(make_l1s())
+        directory.cpu_read(0, 0x1000)
+        directory.cpu_read(2, 0x1000)
+        assert directory.stats.probes_sent == 0
+
+
+class TestDirectoryWrites:
+    def test_write_invalidates_other_sharers(self):
+        caches = make_l1s()
+        directory = Directory(caches)
+        for core in (0, 1, 2):
+            caches[core].fill(0x1000, PageSize.BASE_4KB)
+            directory.cpu_read(core, 0x1000)
+        probes = directory.cpu_write(3, 0x1000)
+        assert probes == 3
+        for core in (0, 1, 2):
+            assert not caches[core].coherence_probe(0x1000).present
+        assert directory.sharer_count(0x1000) == 1
+
+    def test_write_collects_dirty_writeback(self):
+        caches = make_l1s()
+        directory = Directory(caches)
+        caches[0].fill(0x1000, PageSize.BASE_4KB, dirty=True)
+        directory.cpu_write(0, 0x1000)
+        directory.cpu_write(1, 0x1000)
+        assert directory.stats.writebacks_collected == 1
+
+    def test_write_by_sole_owner_sends_no_probes(self):
+        directory = Directory(make_l1s())
+        directory.cpu_write(0, 0x1000)
+        assert directory.cpu_write(0, 0x1000) == 0
+
+
+class TestDirectoryEvictions:
+    def test_eviction_removes_sharer(self):
+        directory = Directory(make_l1s())
+        directory.cpu_read(0, 0x1000)
+        directory.evict(0, 0x1000)
+        assert directory.sharer_count(0x1000) == 0
+
+    def test_eviction_of_unknown_line_is_noop(self):
+        directory = Directory(make_l1s())
+        directory.evict(0, 0x5000)  # must not raise
+
+
+class TestDirectoryProbeListener:
+    def test_listener_sees_ways_probed(self):
+        caches = make_l1s(seesaw=True)
+        directory = Directory(caches)
+        events = []
+        directory.register_probe_listener(
+            lambda core, ways: events.append((core, ways)))
+        caches[0].fill(0x1000, PageSize.BASE_4KB)
+        directory.cpu_read(0, 0x1000)
+        directory.cpu_write(1, 0x1000)
+        # SEESAW single-partition coherence: 4 ways per probe, not 8.
+        assert events == [(0, 4)]
+
+    def test_seesaw_vs_vipt_probe_width(self):
+        for seesaw, expected in ((True, 4), (False, 8)):
+            caches = make_l1s(seesaw=seesaw)
+            directory = Directory(caches)
+            widths = []
+            directory.register_probe_listener(
+                lambda core, ways: widths.append(ways))
+            directory.cpu_read(0, 0x1000)
+            directory.cpu_write(1, 0x1000)
+            assert widths == [expected]
+
+
+class TestSnoopyBus:
+    def test_read_broadcasts_to_all_other_cores(self):
+        caches = make_l1s()
+        bus = SnoopyBus(caches)
+        caches[2].fill(0x1000, PageSize.BASE_4KB)
+        hit = bus.cpu_read(0, 0x1000)
+        assert hit
+        assert bus.stats.probes_sent == 3
+
+    def test_write_invalidates_everywhere(self):
+        caches = make_l1s()
+        bus = SnoopyBus(caches)
+        for core in (1, 2, 3):
+            caches[core].fill(0x1000, PageSize.BASE_4KB)
+        bus.cpu_write(0, 0x1000)
+        for core in (1, 2, 3):
+            assert not caches[core].coherence_probe(0x1000).present
+
+    def test_snoopy_sends_more_probes_than_directory(self):
+        """The paper's §VI-B observation: snooping multiplies coherence
+        lookups, growing SEESAW's energy advantage by 2-5%."""
+        def probes_for(fabric_cls):
+            caches = make_l1s()
+            fabric = fabric_cls(caches)
+            for i in range(10):
+                fabric.cpu_read(0, 0x1000 + i * 64)
+                fabric.cpu_write(1, 0x1000 + i * 64)
+            return fabric.stats.probes_sent
+
+        assert probes_for(SnoopyBus) > probes_for(Directory)
+
+    def test_dirty_writeback_collected(self):
+        caches = make_l1s()
+        bus = SnoopyBus(caches)
+        caches[1].fill(0x1000, PageSize.BASE_4KB, dirty=True)
+        bus.cpu_write(0, 0x1000)
+        assert bus.stats.writebacks_collected == 1
+
+    def test_evict_is_silent(self):
+        bus = SnoopyBus(make_l1s())
+        bus.evict(0, 0x1000)
+        assert bus.stats.broadcasts == 0

@@ -1,0 +1,73 @@
+"""Tests for the memhog fragmentation model."""
+
+import pytest
+
+from repro.mem.fragmentation import Memhog, fragment_memory
+from repro.mem.physical import ORDER_2MB, PhysicalMemory
+
+MB = 1024 * 1024
+
+
+class TestMemhog:
+    def test_fraction_validation(self):
+        memory = PhysicalMemory(16 * MB)
+        with pytest.raises(ValueError):
+            Memhog(memory, 0.99)
+        with pytest.raises(ValueError):
+            Memhog(memory, -0.1)
+
+    def test_pins_roughly_the_target_fraction(self):
+        memory = PhysicalMemory(64 * MB)
+        fragment_memory(memory, 0.5, seed=1)
+        pinned = 1 - memory.free_bytes / memory.total_bytes
+        assert 0.4 <= pinned <= 0.6
+
+    def test_zero_fraction_leaves_memory_usable(self):
+        memory = PhysicalMemory(64 * MB)
+        fragment_memory(memory, 0.0, seed=1)
+        # Everything freed back; most memory should be 2MB-capable again.
+        blocks = memory.allocator.available_blocks_at_or_above(ORDER_2MB)
+        assert blocks >= 24  # of 32 possible
+
+    def test_superpage_availability_decays_with_fraction(self):
+        """The Fig. 3 mechanism: more pinned memory, fewer 2MB blocks."""
+        available = []
+        for fraction in (0.1, 0.4, 0.7, 0.9):
+            memory = PhysicalMemory(64 * MB)
+            fragment_memory(memory, fraction, seed=7)
+            available.append(
+                memory.allocator.available_blocks_at_or_above(ORDER_2MB))
+        assert available == sorted(available, reverse=True)
+        assert available[0] > 2 * max(available[-1], 1)
+
+    def test_free_space_is_fragmented_not_contiguous(self):
+        memory = PhysicalMemory(64 * MB)
+        fragment_memory(memory, 0.6, seed=2)
+        free_bytes = memory.free_bytes
+        usable_2mb = (memory.allocator.available_blocks_at_or_above(ORDER_2MB)
+                      * 2 * MB)
+        # A substantial share of the free space must be in sub-2MB holes.
+        assert usable_2mb < free_bytes
+
+    def test_release_restores_memory(self):
+        memory = PhysicalMemory(32 * MB)
+        hog = fragment_memory(memory, 0.7, seed=3)
+        hog.release()
+        assert memory.free_bytes == memory.total_bytes
+        assert memory.allocator.available_blocks_at_or_above(ORDER_2MB) == 16
+
+    def test_deterministic_for_fixed_seed(self):
+        def run(seed):
+            memory = PhysicalMemory(32 * MB)
+            fragment_memory(memory, 0.5, seed=seed)
+            return (memory.free_bytes,
+                    memory.allocator.available_blocks_at_or_above(ORDER_2MB))
+
+        assert run(11) == run(11)
+
+    def test_held_regions_reported(self):
+        memory = PhysicalMemory(32 * MB)
+        hog = fragment_memory(memory, 0.5, seed=5)
+        assert hog.held_regions > 0
+        hog.release()
+        assert hog.held_regions == 0

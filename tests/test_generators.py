@@ -1,0 +1,120 @@
+"""Tests for the synthetic access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    MixedGenerator,
+    PointerChaseGenerator,
+    StreamGenerator,
+    UniformRandomGenerator,
+    ZipfGenerator,
+)
+
+N_LINES = 4096
+
+
+class TestCommon:
+    @pytest.mark.parametrize("cls", [ZipfGenerator, StreamGenerator,
+                                     PointerChaseGenerator,
+                                     UniformRandomGenerator])
+    def test_outputs_in_range(self, cls):
+        gen = cls(N_LINES, seed=1)
+        out = gen.generate(2000)
+        assert len(out) == 2000
+        assert out.min() >= 0 and out.max() < N_LINES
+
+    @pytest.mark.parametrize("cls", [ZipfGenerator, StreamGenerator,
+                                     PointerChaseGenerator,
+                                     UniformRandomGenerator])
+    def test_deterministic_per_seed(self, cls):
+        a = cls(N_LINES, seed=9).generate(500)
+        b = cls(N_LINES, seed=9).generate(500)
+        assert np.array_equal(a, b)
+
+    def test_rejects_empty_footprint(self):
+        with pytest.raises(ValueError):
+            StreamGenerator(0)
+
+
+class TestZipf:
+    def test_skew_concentrates_accesses(self):
+        gen = ZipfGenerator(N_LINES, s=1.2, seed=2)
+        out = gen.generate(20000)
+        pages = out // 64
+        unique, counts = np.unique(pages, return_counts=True)
+        top_share = np.sort(counts)[::-1][:8].sum() / counts.sum()
+        assert top_share > 0.4   # hot 8 pages dominate
+
+    def test_low_skew_spreads_accesses(self):
+        hot = ZipfGenerator(N_LINES, s=1.4, seed=2).generate(20000)
+        cold = ZipfGenerator(N_LINES, s=0.4, seed=2).generate(20000)
+        assert len(np.unique(cold)) > len(np.unique(hot))
+
+    def test_hot_pages_are_contiguous_low_pages(self):
+        """Hot ranks map to low page numbers — the region-level locality
+        that keeps the TFT effective (see generators.py)."""
+        out = ZipfGenerator(N_LINES, s=1.2, seed=3).generate(20000)
+        pages = out // 64
+        unique, counts = np.unique(pages, return_counts=True)
+        hottest = unique[np.argmax(counts)]
+        assert hottest < 8
+
+
+class TestStream:
+    def test_sequential_by_stride(self):
+        gen = StreamGenerator(N_LINES, stride=1, seed=0)
+        out = gen.generate(100)
+        diffs = np.diff(out) % N_LINES
+        assert (diffs == 1).all()
+
+    def test_custom_stride(self):
+        gen = StreamGenerator(N_LINES, stride=4, seed=0)
+        out = gen.generate(50)
+        assert (np.diff(out) % N_LINES == 4).all()
+
+    def test_wraps_at_footprint(self):
+        gen = StreamGenerator(64, stride=1, seed=0)
+        out = gen.generate(200)
+        assert out.max() < 64
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamGenerator(64, stride=0)
+
+    def test_position_persists_across_calls(self):
+        gen = StreamGenerator(N_LINES, stride=1, seed=0)
+        first = gen.generate(10)
+        second = gen.generate(10)
+        assert second[0] == (first[-1] + 1) % N_LINES
+
+
+class TestPointerChase:
+    def test_visits_whole_footprint_once_per_cycle(self):
+        gen = PointerChaseGenerator(256, seed=4)
+        out = gen.generate(256)
+        assert len(np.unique(out)) == 256   # a permutation cycle
+
+    def test_successive_accesses_far_apart(self):
+        gen = PointerChaseGenerator(N_LINES, seed=4)
+        out = gen.generate(1000)
+        jumps = np.abs(np.diff(out))
+        assert np.median(jumps) > N_LINES / 16   # no spatial locality
+
+
+class TestMixed:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            MixedGenerator(N_LINES, [])
+
+    def test_mixture_draws_from_all_components(self):
+        stream = StreamGenerator(N_LINES, seed=1)
+        uniform = UniformRandomGenerator(N_LINES, seed=2)
+        gen = MixedGenerator(N_LINES, [(stream, 0.5), (uniform, 0.5)],
+                             chunk=16, seed=3)
+        out = gen.generate(2000)
+        assert len(out) == 2000
+        # Mixture should look neither purely sequential nor purely random.
+        diffs = np.diff(out)
+        assert (diffs == 1).sum() > 100
+        assert (np.abs(diffs) > 100).sum() > 100

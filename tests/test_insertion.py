@@ -1,0 +1,46 @@
+"""Tests for the 4way / 4way-8way insertion policies."""
+
+from repro.core.insertion import InsertionPolicy
+from repro.core.partition import WayPartitioning
+from repro.mem.address import PageSize
+
+
+PART = WayPartitioning(total_ways=8, partition_ways=4)
+
+
+class TestFourWay:
+    def test_base_pages_restricted_to_pa_partition(self):
+        policy = InsertionPolicy.FOUR_WAY
+        ways = policy.candidate_ways(PART, 0x1000, PageSize.BASE_4KB)
+        assert list(ways) == [4, 5, 6, 7]
+        ways = policy.candidate_ways(PART, 0x2000, PageSize.BASE_4KB)
+        assert list(ways) == [0, 1, 2, 3]
+
+    def test_superpages_restricted_too(self):
+        policy = InsertionPolicy.FOUR_WAY
+        ways = policy.candidate_ways(PART, 0x1000, PageSize.SUPER_2MB)
+        assert list(ways) == [4, 5, 6, 7]
+
+    def test_coherence_single_partition(self):
+        # Paper §IV-C1: the coherence-energy win requires 4way insertion.
+        assert InsertionPolicy.FOUR_WAY.coherence_probes_single_partition
+
+
+class TestFourEightWay:
+    def test_base_pages_use_global_lru(self):
+        policy = InsertionPolicy.FOUR_EIGHT_WAY
+        ways = policy.candidate_ways(PART, 0x1000, PageSize.BASE_4KB)
+        assert list(ways) == list(range(8))
+
+    def test_superpages_still_partition_local(self):
+        policy = InsertionPolicy.FOUR_EIGHT_WAY
+        ways = policy.candidate_ways(PART, 0x1000, PageSize.SUPER_2MB)
+        assert list(ways) == [4, 5, 6, 7]
+
+    def test_coherence_must_probe_full_set(self):
+        assert not (InsertionPolicy.FOUR_EIGHT_WAY
+                    .coherence_probes_single_partition)
+
+    def test_enum_values(self):
+        assert InsertionPolicy("4way") is InsertionPolicy.FOUR_WAY
+        assert InsertionPolicy("4way-8way") is InsertionPolicy.FOUR_EIGHT_WAY

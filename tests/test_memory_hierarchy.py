@@ -1,0 +1,54 @@
+"""Tests for the L2/LLC/DRAM backing hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import DRAMModel, MemoryHierarchy
+
+
+class TestDRAM:
+    def test_latency_scales_with_frequency(self):
+        dram = DRAMModel(round_trip_ns=51.0)
+        # Paper Table II: 51ns round trip.
+        assert dram.latency_cycles(1.33) == 68
+        assert dram.latency_cycles(4.0) == 204
+
+
+class TestMissService:
+    def test_cold_miss_goes_to_dram(self):
+        hierarchy = MemoryHierarchy(llc_size=1024 * 1024, llc_latency=30)
+        result = hierarchy.service_miss(0x1000)
+        assert result.serviced_by == "dram"
+        assert result.llc_accessed and result.dram_accessed
+        assert result.latency_cycles == 30 + hierarchy.dram.latency_cycles(1.33)
+
+    def test_second_miss_hits_llc(self):
+        hierarchy = MemoryHierarchy(llc_size=1024 * 1024, llc_latency=30)
+        hierarchy.service_miss(0x1000)
+        result = hierarchy.service_miss(0x1000)
+        assert result.serviced_by == "llc"
+        assert result.latency_cycles == 30
+        assert not result.dram_accessed
+
+    def test_l2_level_optional(self):
+        hierarchy = MemoryHierarchy(l2_size=256 * 1024, l2_latency=12,
+                                    llc_size=1024 * 1024, llc_latency=30)
+        hierarchy.service_miss(0x1000)
+        result = hierarchy.service_miss(0x1000)
+        assert result.serviced_by == "l2"
+        assert result.latency_cycles == 12
+
+    def test_no_levels_all_dram(self):
+        hierarchy = MemoryHierarchy(llc_size=0)
+        result = hierarchy.service_miss(0x1000)
+        assert result.serviced_by == "dram"
+
+    def test_writeback_lands_in_nearest_level(self):
+        hierarchy = MemoryHierarchy(llc_size=1024 * 1024)
+        hierarchy.writeback(0x2000)
+        assert hierarchy.levels[0].cache.contains(0x2000)
+
+    def test_dram_access_counter(self):
+        hierarchy = MemoryHierarchy(llc_size=1024 * 1024)
+        hierarchy.service_miss(0x1000)
+        hierarchy.service_miss(0x2000)
+        assert hierarchy.dram.accesses == 2

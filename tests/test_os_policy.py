@@ -1,0 +1,159 @@
+"""Tests for the transparent-huge-page OS policy layer."""
+
+import pytest
+
+from repro.mem.address import PAGE_SIZE_2MB, PAGE_SIZE_4KB, PageSize
+from repro.mem.fragmentation import fragment_memory
+from repro.mem.os_policy import MemoryManager, THPPolicy
+from repro.mem.physical import PhysicalMemory
+
+VA = 0x4000_0000  # 2MB aligned
+
+
+class TestTouch:
+    def test_first_touch_allocates_superpage_under_thp_always(
+            self, memory_manager):
+        mapping = memory_manager.touch(VA + 123)
+        assert mapping.page_size is PageSize.SUPER_2MB
+        assert memory_manager.stats.superpages_allocated == 1
+
+    def test_touch_is_idempotent(self, memory_manager):
+        first = memory_manager.touch(VA)
+        second = memory_manager.touch(VA + 999)
+        assert first == second
+        assert memory_manager.stats.superpages_allocated == 1
+
+    def test_thp_never_uses_base_pages(self, physical_memory):
+        manager = MemoryManager(physical_memory, thp_policy=THPPolicy.NEVER)
+        mapping = manager.touch(VA)
+        assert mapping.page_size is PageSize.BASE_4KB
+        assert manager.stats.base_pages_allocated == 1
+
+    def test_thp_madvise_only_advised_regions(self, physical_memory):
+        manager = MemoryManager(physical_memory, thp_policy=THPPolicy.MADVISE)
+        assert manager.touch(VA).page_size is PageSize.BASE_4KB
+        other = VA + 4 * PAGE_SIZE_2MB
+        manager.madvise_hugepage(other)
+        assert manager.touch(other).page_size is PageSize.SUPER_2MB
+
+    def test_fallback_to_base_page_when_fragmented(self):
+        memory = PhysicalMemory(32 * 1024 * 1024)
+        fragment_memory(memory, 0.6, seed=3)
+        manager = MemoryManager(memory, thp_policy=THPPolicy.ALWAYS)
+        # Touch more regions than there are free 2MB blocks: once they run
+        # out, the OS falls back to base pages (the Fig. 3 mechanism).
+        free_blocks = memory.allocator.available_blocks_at_or_above(9)
+        mappings = [manager.touch(VA + i * PAGE_SIZE_2MB)
+                    for i in range(free_blocks + 3)]
+        assert any(m.page_size is PageSize.BASE_4KB for m in mappings)
+        assert any(m.page_size is PageSize.SUPER_2MB for m in mappings)
+        assert manager.stats.superpage_fallbacks >= 1
+
+    def test_region_with_existing_base_page_never_gets_superpage(
+            self, memory_manager):
+        # Force a base page into the region first.
+        memory_manager.thp_policy = THPPolicy.NEVER
+        memory_manager.touch(VA)
+        memory_manager.thp_policy = THPPolicy.ALWAYS
+        mapping = memory_manager.touch(VA + PAGE_SIZE_4KB)
+        assert mapping.page_size is PageSize.BASE_4KB
+
+    def test_touch_range_faults_every_page(self, memory_manager):
+        memory_manager.thp_policy = THPPolicy.NEVER
+        memory_manager.touch_range(VA, 10 * PAGE_SIZE_4KB)
+        table = memory_manager.page_table(0)
+        for i in range(10):
+            assert table.is_mapped(VA + i * PAGE_SIZE_4KB)
+
+    def test_separate_address_spaces(self, memory_manager):
+        memory_manager.touch(VA, asid=1)
+        assert memory_manager.page_table(1).is_mapped(VA)
+        assert not memory_manager.page_table(2).is_mapped(VA)
+
+
+class TestFootprintFraction:
+    def test_all_superpages_gives_fraction_one(self, memory_manager):
+        for i in range(4):
+            memory_manager.touch(VA + i * PAGE_SIZE_2MB)
+        assert memory_manager.footprint_superpage_fraction() == 1.0
+
+    def test_mixed_fraction(self, memory_manager):
+        memory_manager.touch(VA)  # superpage
+        memory_manager.thp_policy = THPPolicy.NEVER
+        memory_manager.touch(VA + PAGE_SIZE_2MB)  # one base page
+        fraction = memory_manager.footprint_superpage_fraction()
+        expected = PAGE_SIZE_2MB / (PAGE_SIZE_2MB + PAGE_SIZE_4KB)
+        assert fraction == pytest.approx(expected)
+
+    def test_empty_footprint_is_zero(self, memory_manager):
+        assert memory_manager.footprint_superpage_fraction() == 0.0
+
+
+class TestSplinterAndPromotion:
+    def test_splinter_fires_invalidation_hook(self, memory_manager):
+        events = []
+        memory_manager.register_invalidation_hook(
+            lambda vb, ps: events.append((vb, ps)))
+        memory_manager.touch(VA)
+        memory_manager.splinter_superpage(VA)
+        assert (VA, PageSize.SUPER_2MB) in events
+        assert memory_manager.stats.superpages_splintered == 1
+
+    def test_splinter_preserves_translation(self, memory_manager):
+        memory_manager.touch(VA)
+        pa_before = memory_manager.page_table(0).translate(VA + 777)
+        memory_manager.splinter_superpage(VA)
+        assert memory_manager.page_table(0).translate(VA + 777) == pa_before
+
+    def test_promote_region_after_splinter(self, memory_manager):
+        memory_manager.touch(VA)
+        memory_manager.splinter_superpage(VA)
+        mapping = memory_manager.promote_region(VA)
+        assert mapping is not None
+        assert mapping.page_size is PageSize.SUPER_2MB
+        assert memory_manager.stats.superpages_promoted == 1
+
+    def test_promote_fires_promotion_hook_with_old_frames(
+            self, memory_manager):
+        events = []
+        memory_manager.register_promotion_hook(
+            lambda vb, old: events.append((vb, len(old))))
+        memory_manager.touch(VA)
+        memory_manager.splinter_superpage(VA)
+        memory_manager.promote_region(VA)
+        assert events == [(VA, 512)]
+
+    def test_promote_fires_invalidations_for_base_pages(self, memory_manager):
+        invalidations = []
+        memory_manager.touch(VA)
+        memory_manager.splinter_superpage(VA)
+        memory_manager.register_invalidation_hook(
+            lambda vb, ps: invalidations.append(ps))
+        memory_manager.promote_region(VA)
+        assert invalidations.count(PageSize.BASE_4KB) == 512
+
+    def test_promote_non_resident_region_returns_none(self, memory_manager):
+        assert memory_manager.promote_region(VA) is None
+
+    def test_promote_already_superpage_returns_none(self, memory_manager):
+        memory_manager.touch(VA)
+        assert memory_manager.promote_region(VA) is None
+
+    def test_promote_frees_old_frames(self, memory_manager):
+        free_before = memory_manager.physical.free_bytes
+        memory_manager.touch(VA)
+        memory_manager.splinter_superpage(VA)
+        memory_manager.promote_region(VA)
+        # One 2MB page resident; 512 old frames freed.
+        assert (free_before - memory_manager.physical.free_bytes
+                == PAGE_SIZE_2MB)
+
+    def test_region_can_get_superpage_again_after_promotion(
+            self, memory_manager):
+        """Promotion must clear the 'broken region' fast-path marker."""
+        memory_manager.thp_policy = THPPolicy.NEVER
+        memory_manager.touch_range(VA, PAGE_SIZE_2MB)
+        memory_manager.thp_policy = THPPolicy.ALWAYS
+        assert memory_manager.promote_region(VA) is not None
+        table = memory_manager.page_table(0)
+        assert table.page_size_of(VA) is PageSize.SUPER_2MB

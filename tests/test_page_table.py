@@ -1,0 +1,151 @@
+"""Tests for the multi-page-size radix page table."""
+
+import pytest
+
+from repro.mem.address import PAGE_SIZE_2MB, PAGE_SIZE_4KB, PageSize
+from repro.mem.page_table import (
+    WALK_REFERENCES,
+    Mapping,
+    PageTable,
+    TranslationFault,
+)
+
+VA_2MB = 0x4000_0000          # 2MB-aligned
+PA_2MB = 0x1000_0000          # 2MB-aligned
+
+
+class TestMapping:
+    def test_translate_within_mapping(self):
+        mapping = Mapping(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        assert mapping.translate(VA_2MB + 12345) == PA_2MB + 12345
+
+    def test_translate_outside_raises(self):
+        mapping = Mapping(VA_2MB, PA_2MB, PageSize.BASE_4KB)
+        with pytest.raises(ValueError):
+            mapping.translate(VA_2MB + PAGE_SIZE_4KB)
+
+    def test_is_superpage(self):
+        assert Mapping(0, 0, PageSize.SUPER_2MB).is_superpage
+        assert not Mapping(0, 0, PageSize.BASE_4KB).is_superpage
+
+
+class TestMapUnmap:
+    def test_map_and_translate_4kb(self, page_table):
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        assert page_table.translate(0x1FFF) == 0x2FFF
+
+    def test_map_and_translate_2mb(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        assert page_table.translate(VA_2MB + 0x12_3456) == PA_2MB + 0x12_3456
+
+    def test_map_and_translate_1gb(self, page_table):
+        gb = 2 << 30
+        page_table.map(gb, 0, PageSize.SUPER_1GB)
+        assert page_table.translate(gb + 0x3FFF_FFFF) == 0x3FFF_FFFF
+
+    def test_misaligned_map_rejected(self, page_table):
+        with pytest.raises(ValueError):
+            page_table.map(0x1234, 0x2000, PageSize.BASE_4KB)
+        with pytest.raises(ValueError):
+            page_table.map(VA_2MB + PAGE_SIZE_4KB, PA_2MB, PageSize.SUPER_2MB)
+
+    def test_double_map_rejected(self, page_table):
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        with pytest.raises(ValueError):
+            page_table.map(0x1000, 0x3000, PageSize.BASE_4KB)
+
+    def test_superpage_over_base_pages_rejected(self, page_table):
+        page_table.map(VA_2MB, 0x2000, PageSize.BASE_4KB)
+        with pytest.raises(ValueError):
+            page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+
+    def test_base_page_under_superpage_rejected(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        with pytest.raises(ValueError):
+            page_table.map(VA_2MB + PAGE_SIZE_4KB, 0x9000, PageSize.BASE_4KB)
+
+    def test_unmap_removes_translation(self, page_table):
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        page_table.unmap(0x1000, PageSize.BASE_4KB)
+        with pytest.raises(TranslationFault):
+            page_table.translate(0x1000)
+
+    def test_unmap_missing_raises_fault(self, page_table):
+        with pytest.raises(TranslationFault):
+            page_table.unmap(0x5000, PageSize.BASE_4KB)
+
+    def test_len_counts_mappings(self, page_table):
+        assert len(page_table) == 0
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        assert len(page_table) == 2
+        page_table.unmap(0x1000, PageSize.BASE_4KB)
+        assert len(page_table) == 1
+
+    def test_is_mapped(self, page_table):
+        assert not page_table.is_mapped(0x1000)
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        assert page_table.is_mapped(0x1fff)
+
+    def test_mappings_iterator(self, page_table):
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        sizes = {m.page_size for m in page_table.mappings()}
+        assert sizes == {PageSize.BASE_4KB, PageSize.SUPER_2MB}
+
+
+class TestWalk:
+    def test_walk_reference_counts_by_leaf_level(self, page_table):
+        # x86-64: 4 refs for 4KB leaves, 3 for 2MB, 2 for 1GB.
+        page_table.map(0x1000, 0x2000, PageSize.BASE_4KB)
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        page_table.map(2 << 30, 0, PageSize.SUPER_1GB)
+        assert page_table.walk(0x1000)[1] == 4
+        assert page_table.walk(VA_2MB)[1] == 3
+        assert page_table.walk(2 << 30)[1] == 2
+
+    def test_walk_constants_match(self):
+        assert WALK_REFERENCES[PageSize.BASE_4KB] == 4
+        assert WALK_REFERENCES[PageSize.SUPER_2MB] == 3
+        assert WALK_REFERENCES[PageSize.SUPER_1GB] == 2
+
+    def test_page_size_of(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        assert page_table.page_size_of(VA_2MB + 5) is PageSize.SUPER_2MB
+
+
+class TestSplinterPromote:
+    def test_splinter_preserves_translations(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        pieces = page_table.splinter(VA_2MB)
+        assert len(pieces) == 512
+        # Same VA -> PA mapping, different granularity (paper §IV-C2).
+        for probe in (0, 0x1234, PAGE_SIZE_2MB - 1):
+            assert page_table.translate(VA_2MB + probe) == PA_2MB + probe
+        assert page_table.page_size_of(VA_2MB) is PageSize.BASE_4KB
+
+    def test_promote_reinstalls_superpage(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        page_table.splinter(VA_2MB)
+        new_pa = 0x4000_0000
+        mapping = page_table.promote(VA_2MB, new_pa)
+        assert mapping.page_size is PageSize.SUPER_2MB
+        assert page_table.translate(VA_2MB + 77) == new_pa + 77
+        assert len(page_table) == 1
+
+    def test_promote_requires_alignment(self, page_table):
+        with pytest.raises(ValueError):
+            page_table.promote(VA_2MB + PAGE_SIZE_4KB, PA_2MB)
+
+    def test_covering_superpage_region(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        region = page_table.covering_superpage_region(VA_2MB + 99)
+        assert region == VA_2MB >> 21
+        assert page_table.covering_superpage_region(0x1000) is None
+
+    def test_splinter_then_repromote_round_trip(self, page_table):
+        page_table.map(VA_2MB, PA_2MB, PageSize.SUPER_2MB)
+        for _ in range(3):
+            page_table.splinter(VA_2MB)
+            page_table.promote(VA_2MB, PA_2MB)
+        assert page_table.page_size_of(VA_2MB) is PageSize.SUPER_2MB

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These pin down the algebraic properties the simulator's correctness rests
+on: address-split round trips, buddy-allocator conservation, page-table
+translation consistency across splinter/promote, TFT no-false-positive
+guarantees, LRU behaviour, and the SEESAW invariant that a line is always
+found where the insertion policy put it.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.cache.basic import SetAssociativeCache
+from repro.cache.replacement import LRUPolicy
+from repro.cache.vipt import L1Timing
+from repro.core.partition import WayPartitioning
+from repro.core.seesaw import SeesawL1Cache
+from repro.core.tft import TranslationFilterTable
+from repro.mem.address import (
+    PAGE_SIZE_2MB,
+    PageSize,
+    page_base,
+    page_number,
+    page_offset,
+)
+from repro.mem.page_table import PageTable
+from repro.mem.physical import BuddyAllocator, OutOfMemoryError
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+page_sizes = st.sampled_from(list(PageSize))
+
+
+class TestAddressProperties:
+    @given(addresses, page_sizes)
+    def test_split_recompose_round_trip(self, address, size):
+        vpn = page_number(address, size)
+        offset = page_offset(address, size)
+        assert (vpn << size.offset_bits) | offset == address
+
+    @given(addresses, page_sizes)
+    def test_page_base_idempotent(self, address, size):
+        base = page_base(address, size)
+        assert page_base(base, size) == base
+        assert base <= address < base + int(size)
+
+
+class TestBuddyProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_frame_conservation(self, orders):
+        """allocated frames + free frames == total, always."""
+        buddy = BuddyAllocator(8 * 1024 * 1024)
+        total = buddy.total_frames
+        held = []
+        for order in orders:
+            try:
+                held.append((buddy.allocate(order), order))
+            except OutOfMemoryError:
+                pass
+            allocated = sum(1 << o for _, o in held)
+            assert buddy.free_frames() + allocated == total
+        for frame, _ in held:
+            buddy.free(frame)
+        assert buddy.free_frames() == total
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_full_free_always_recoalesces(self, orders):
+        buddy = BuddyAllocator(4 * 1024 * 1024)   # 2 x 2MB
+        held = []
+        for order in orders:
+            frame = buddy.try_allocate(order)
+            if frame is not None:
+                held.append(frame)
+        for frame in held:
+            buddy.free(frame)
+        assert buddy.available_blocks_at_or_above(9) == 2
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_allocation_alignment(self, order):
+        buddy = BuddyAllocator(4 * 1024 * 1024)
+        frame = buddy.allocate(order)
+        assert frame % (1 << order) == 0
+
+
+class TestPageTableProperties:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=PAGE_SIZE_2MB - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_translate_consistent_across_splinter(self, vregion, pregion,
+                                                  offset):
+        table = PageTable()
+        vbase = vregion * PAGE_SIZE_2MB
+        pbase = pregion * PAGE_SIZE_2MB
+        table.map(vbase, pbase, PageSize.SUPER_2MB)
+        before = table.translate(vbase + offset)
+        table.splinter(vbase)
+        assert table.translate(vbase + offset) == before
+
+    @given(st.sets(st.integers(min_value=0, max_value=500), min_size=1,
+                   max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_mapped_pages_all_translate(self, pages):
+        table = PageTable()
+        for page in pages:
+            table.map(page << 12, (page + 1000) << 12, PageSize.BASE_4KB)
+        for page in pages:
+            assert table.translate(page << 12) == (page + 1000) << 12
+        assert len(table) == len(pages)
+
+
+class TestTFTProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=4000), min_size=1,
+                    max_size=100),
+           st.integers(min_value=0, max_value=4000))
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_positives_ever(self, filled_regions, probe_region):
+        """A TFT hit must imply the region was filled (and not evicted):
+        the property SEESAW's correctness rests on."""
+        tft = TranslationFilterTable(16)
+        for region in filled_regions:
+            tft.fill(region * PAGE_SIZE_2MB)
+        if tft.probe(probe_region * PAGE_SIZE_2MB):
+            assert probe_region in filled_regions
+
+    @given(st.lists(st.integers(min_value=0, max_value=4000), max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded_by_entries(self, regions):
+        tft = TranslationFilterTable(16)
+        for region in regions:
+            tft.fill(region * PAGE_SIZE_2MB)
+        assert 0 <= tft.occupancy() <= 16
+
+
+class TestLRUProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=100))
+    def test_most_recent_touch_never_victim(self, touches):
+        lru = LRUPolicy(8)
+        for way in touches:
+            lru.touch(way)
+        assert lru.victim(range(8)) != touches[-1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=8,
+                    max_size=100))
+    def test_victim_is_oldest_distinct(self, touches):
+        assume(len(set(touches)) == 8)
+        lru = LRUPolicy(8)
+        for way in touches:
+            lru.touch(way)
+        last_seen = {way: i for i, way in enumerate(touches)}
+        expected = min(last_seen, key=last_seen.get)
+        assert lru.victim(range(8)) == expected
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_access_twice_in_a_row_always_hits(self, raw_addresses):
+        cache = SetAssociativeCache(32 * 1024, 8)
+        for address in raw_addresses:
+            cache.access(address)
+            assert cache.access(address) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_lines_never_exceed_capacity(self, raw_addresses):
+        cache = SetAssociativeCache(16 * 1024, 4)
+        for address in raw_addresses:
+            cache.access(address)
+        assert cache.valid_lines() <= 16 * 1024 // 64
+
+
+class TestSeesawInvariants:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=(1 << 26) - 1),  # physical line
+        st.booleans()), min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_coherence_probe_always_finds_inserted_lines(self, fills):
+        """Under 4way insertion, a single-partition coherence probe must
+        find every line the cache currently holds — the correctness of the
+        paper's §IV-C1 coherence optimization."""
+        timing = L1Timing(base_hit_cycles=2, super_hit_cycles=1)
+        cache = SeesawL1Cache(32 * 1024, timing)
+        for raw, is_super in fills:
+            pa = raw & ~63
+            size = PageSize.SUPER_2MB if is_super else PageSize.BASE_4KB
+            cache.fill(pa, size)
+            result = cache.coherence_probe(pa)
+            assert result.present
+            assert result.ways_probed == 4
+
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+    def test_partition_of_matches_ways(self, address):
+        partitioning = WayPartitioning(total_ways=8, partition_ways=4)
+        partition = partitioning.partition_of(address)
+        ways = list(partitioning.ways_of_partition(partition))
+        assert all(partitioning.partition_of_way(w) == partition
+                   for w in ways)
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 26) - 1),
+                    min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_superpage_access_after_fill_hits_fast(self, raw_lines):
+        """TFT-known superpage lines are always found by the partitioned
+        (4-way) lookup when VA and PA agree on the partition bits."""
+        timing = L1Timing(base_hit_cycles=2, super_hit_cycles=1)
+        cache = SeesawL1Cache(32 * 1024, timing)
+        for raw in raw_lines:
+            pa = raw & ~63
+            va = (7 << 30) | (pa & (PAGE_SIZE_2MB - 1))  # same low 21 bits
+            cache.tft.fill(va)
+            cache.fill(pa, PageSize.SUPER_2MB)
+            result = cache.access(va, pa, PageSize.SUPER_2MB)
+            assert result.hit and result.fast_path
+            assert result.ways_probed == 4

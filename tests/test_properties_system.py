@@ -1,0 +1,162 @@
+"""Property-based tests on cross-module invariants.
+
+Where ``test_properties.py`` pins single data structures, these exercise
+interactions: the OS layer against the page table and buddy allocator
+under random splinter/promote churn, the VIVT synonym filter under random
+fill/write/probe sequences, and the coherence directory against the L1s it
+tracks.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cache.vipt import L1Timing, ViptL1Cache
+from repro.cache.vivt import VivtL1Cache
+from repro.coherence.directory import Directory
+from repro.mem.address import PAGE_SIZE_2MB, PAGE_SIZE_4KB, PageSize
+from repro.mem.os_policy import MemoryManager, THPPolicy
+from repro.mem.physical import PhysicalMemory
+
+TIMING = L1Timing(base_hit_cycles=2, super_hit_cycles=1)
+
+
+class TestOsChurnInvariants:
+    @given(st.lists(st.tuples(st.sampled_from(["touch", "splinter",
+                                               "promote"]),
+                              st.integers(min_value=0, max_value=5)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_translations_survive_arbitrary_churn(self, operations):
+        """After any interleaving of touch/splinter/promote on a handful
+        of regions, every previously touched address still translates and
+        physical frame accounting stays consistent."""
+        memory = PhysicalMemory(64 * 1024 * 1024)
+        manager = MemoryManager(memory, thp_policy=THPPolicy.ALWAYS)
+        table = manager.page_table(0)
+        touched = set()
+        for op, region in operations:
+            base = 0x4000_0000 + region * PAGE_SIZE_2MB
+            if op == "touch":
+                manager.touch(base + 123)
+                touched.add(base + 123)
+            elif op == "splinter":
+                if (table.is_mapped(base)
+                        and table.page_size_of(base)
+                        is PageSize.SUPER_2MB):
+                    manager.splinter_superpage(base)
+            else:
+                if (table.is_mapped(base)
+                        and table.page_size_of(base) is PageSize.BASE_4KB):
+                    manager.promote_region(base, fault_in_missing=True)
+        for address in touched:
+            assert table.is_mapped(address)
+        # Frame accounting: free + allocated == total.
+        allocator = memory.allocator
+        allocated = sum(1 << order
+                        for order in allocator._allocated.values())
+        assert allocator.free_frames() + allocated == allocator.total_frames
+
+    @given(st.integers(min_value=0, max_value=3),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_splinter_promote_cycles_preserve_size_semantics(self, region,
+                                                             cycles):
+        memory = PhysicalMemory(64 * 1024 * 1024)
+        manager = MemoryManager(memory, thp_policy=THPPolicy.ALWAYS)
+        base = 0x4000_0000 + region * PAGE_SIZE_2MB
+        manager.touch(base)
+        table = manager.page_table(0)
+        for _ in range(cycles):
+            manager.splinter_superpage(base)
+            assert table.page_size_of(base) is PageSize.BASE_4KB
+            assert manager.promote_region(base,
+                                          fault_in_missing=True) is not None
+            assert table.page_size_of(base) is PageSize.SUPER_2MB
+
+
+class TestVivtSynonymInvariants:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=3),      # virtual alias index
+        st.integers(min_value=0, max_value=15),     # physical line index
+        st.booleans()),                              # write?
+        min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_no_stale_synonym_after_writes(self, operations):
+        """After any fill/write sequence, a write through one alias leaves
+        no *other* valid alias of the same physical line (the VIVT
+        correctness requirement)."""
+        cache = VivtL1Cache(16 * 1024, ways=4, hit_cycles=1)
+        alias_bases = [0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000]
+        for alias, pline, is_write in operations:
+            va = alias_bases[alias] + pline * 64
+            pa = 0x9_0000 + pline * 64
+            cache.fill(va, pa, PageSize.BASE_4KB)
+            if is_write:
+                cache.access(va, pa, PageSize.BASE_4KB, is_write=True)
+                # No other alias of pa may remain cached.
+                others = [alias_bases[a] + pline * 64 for a in range(4)
+                          if a != alias]
+                for other in others:
+                    cache_set = cache.store.set_at(
+                        cache.store.set_index(other))
+                    way = cache_set.find(cache.store.tag_of(other))
+                    assert way is None
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=0, max_value=15)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_coherence_probe_finds_any_cached_alias(self, fills):
+        cache = VivtL1Cache(16 * 1024, ways=4, hit_cycles=1)
+        alias_bases = [0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000]
+        for alias, pline in fills:
+            va = alias_bases[alias] + pline * 64
+            pa = 0x9_0000 + pline * 64
+            cache.fill(va, pa, PageSize.BASE_4KB)
+            assert cache.coherence_probe(pa).present
+
+
+class TestDirectoryInvariants:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=3),      # core
+        st.integers(min_value=0, max_value=7),      # line
+        st.sampled_from(["read", "write", "evict"])),
+        min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_single_writer_invariant(self, operations):
+        """After any transaction sequence, a write leaves exactly one
+        registered sharer for the line."""
+        caches = [ViptL1Cache(32 * 1024, TIMING, seed=i) for i in range(4)]
+        directory = Directory(caches)
+        for core, line_index, op in operations:
+            address = 0x1000 + line_index * 64
+            if op == "read":
+                caches[core].fill(address, PageSize.BASE_4KB)
+                directory.cpu_read(core, address)
+            elif op == "write":
+                caches[core].fill(address, PageSize.BASE_4KB, dirty=True)
+                directory.cpu_write(core, address)
+                assert directory.sharer_count(address) == 1
+                # No other cache still holds the line.
+                for other in range(4):
+                    if other != core:
+                        assert not caches[other].coherence_probe(
+                            address).present
+            else:
+                # Evictions are driven by the L1: the line leaves the
+                # cache *and* the directory is notified (as the eviction
+                # hook does in the system simulator).
+                caches[core].store.invalidate_line(address)
+                directory.evict(core, address)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=0, max_value=7)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_sharer_count_never_exceeds_cores(self, reads):
+        caches = [ViptL1Cache(32 * 1024, TIMING, seed=i) for i in range(4)]
+        directory = Directory(caches)
+        for core, line_index in reads:
+            address = 0x1000 + line_index * 64
+            directory.cpu_read(core, address)
+            assert 1 <= directory.sharer_count(address) <= 4

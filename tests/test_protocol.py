@@ -1,0 +1,92 @@
+"""Tests for the MOESI protocol transition function."""
+
+import itertools
+
+import pytest
+
+from repro.coherence.protocol import (
+    MoesiState,
+    ProtocolEvent,
+    fill_state_for_read,
+    fill_state_for_write,
+    next_state,
+)
+
+
+class TestTotality:
+    def test_every_state_event_pair_defined(self):
+        for state, event in itertools.product(MoesiState, ProtocolEvent):
+            new_state, writeback = next_state(state, event)
+            assert isinstance(new_state, MoesiState)
+            assert isinstance(writeback, bool)
+
+
+class TestProperties:
+    def test_dirty_states(self):
+        assert MoesiState.MODIFIED.is_dirty
+        assert MoesiState.OWNED.is_dirty
+        assert not MoesiState.EXCLUSIVE.is_dirty
+        assert not MoesiState.SHARED.is_dirty
+
+    def test_writable_states(self):
+        assert MoesiState.MODIFIED.can_write
+        assert MoesiState.EXCLUSIVE.can_write
+        assert not MoesiState.SHARED.can_write
+        assert not MoesiState.OWNED.can_write
+
+    def test_valid_states(self):
+        assert not MoesiState.INVALID.is_valid
+        assert all(s.is_valid for s in MoesiState if s != MoesiState.INVALID)
+
+
+class TestTransitions:
+    def test_local_write_always_reaches_modified(self):
+        for state in MoesiState:
+            new_state, _ = next_state(state, ProtocolEvent.LOCAL_WRITE)
+            assert new_state is MoesiState.MODIFIED
+
+    def test_remote_reader_demotes_m_to_o(self):
+        # MOESI's defining feature: dirty sharing without memory writeback.
+        new_state, writeback = next_state(MoesiState.MODIFIED,
+                                          ProtocolEvent.PROBE_SHARED)
+        assert new_state is MoesiState.OWNED
+        assert not writeback
+
+    def test_remote_reader_demotes_e_to_s(self):
+        new_state, _ = next_state(MoesiState.EXCLUSIVE,
+                                  ProtocolEvent.PROBE_SHARED)
+        assert new_state is MoesiState.SHARED
+
+    def test_invalidation_writes_back_dirty_states(self):
+        for state in (MoesiState.MODIFIED, MoesiState.OWNED):
+            new_state, writeback = next_state(state,
+                                              ProtocolEvent.PROBE_INVALIDATE)
+            assert new_state is MoesiState.INVALID
+            assert writeback
+
+    def test_invalidation_silent_for_clean_states(self):
+        for state in (MoesiState.EXCLUSIVE, MoesiState.SHARED):
+            _, writeback = next_state(state, ProtocolEvent.PROBE_INVALIDATE)
+            assert not writeback
+
+    def test_eviction_writes_back_dirty_only(self):
+        assert next_state(MoesiState.MODIFIED, ProtocolEvent.EVICT)[1]
+        assert next_state(MoesiState.OWNED, ProtocolEvent.EVICT)[1]
+        assert not next_state(MoesiState.SHARED, ProtocolEvent.EVICT)[1]
+
+    def test_local_read_preserves_valid_states(self):
+        for state in (MoesiState.MODIFIED, MoesiState.OWNED,
+                      MoesiState.EXCLUSIVE, MoesiState.SHARED):
+            assert next_state(state, ProtocolEvent.LOCAL_READ)[0] is state
+
+
+class TestFillStates:
+    def test_sole_reader_gets_exclusive(self):
+        assert fill_state_for_read(others_have_copy=False) \
+            is MoesiState.EXCLUSIVE
+
+    def test_shared_reader_gets_shared(self):
+        assert fill_state_for_read(others_have_copy=True) is MoesiState.SHARED
+
+    def test_writer_gets_modified(self):
+        assert fill_state_for_write() is MoesiState.MODIFIED

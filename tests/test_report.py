@@ -1,0 +1,47 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.analysis.report import (
+    Reporter,
+    format_min_avg_max,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"],
+                            [["redis", 1.5], ["mongo", 10.25]],
+                            title="Fig X")
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "redis" in lines[3] and "10.25" in lines[4]
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["a"], [["very-long-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len(row)
+
+
+class TestSeries:
+    def test_format_series(self):
+        text = format_series("dRT", {"redis": 5.1234, "mcf": 2.0})
+        assert "redis=5.12%" in text and "mcf=2.00%" in text
+
+    def test_format_min_avg_max(self):
+        text = format_min_avg_max("64KB", (1.0, 2.5, 4.0))
+        assert "min=1.00%" in text and "avg=2.50%" in text \
+            and "max=4.00%" in text
+
+
+class TestReporter:
+    def test_emit_prints_and_returns(self, capsys):
+        reporter = Reporter("Table I")
+        reporter.add("hello")
+        reporter.table(["col"], [["x"]])
+        text = reporter.emit()
+        captured = capsys.readouterr().out
+        assert "Table I" in text and "hello" in text and "col" in text
+        assert "Table I" in captured

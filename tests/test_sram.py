@@ -1,0 +1,109 @@
+"""Tests for the SRAM latency/energy model (paper §III-B, Fig. 2b/2c)."""
+
+import math
+
+import pytest
+
+from repro.energy.sram import SRAMModel, TABLE3, table3_latencies
+
+KB = 1024
+MODEL = SRAMModel()
+
+
+class TestTable3:
+    def test_all_nine_published_points_present(self):
+        assert len(TABLE3) == 9
+
+    def test_values_match_the_paper(self):
+        # Spot checks straight from Table III.
+        assert table3_latencies(32, 1.33) == (1, 2, 1)
+        assert table3_latencies(64, 2.80) == (1, 9, 2)
+        assert table3_latencies(128, 4.00) == (1, 42, 4)
+
+    def test_unknown_configuration_raises(self):
+        with pytest.raises(KeyError):
+            table3_latencies(256, 1.33)
+
+    def test_superpage_always_at_most_base(self):
+        for tft, base, super_ in TABLE3.values():
+            assert super_ <= base
+            assert tft == 1
+
+
+class TestLatencyTrends:
+    def test_latency_grows_10_to_25_percent_per_step_up_to_8_ways(self):
+        """Paper Fig. 2b: each associativity doubling costs 10-25%."""
+        for size in (16 * KB, 32 * KB, 64 * KB):
+            for ways in (1, 2, 4):
+                ratio = (MODEL.access_latency_ns(size, ways * 2)
+                         / MODEL.access_latency_ns(size, ways))
+                assert 1.10 <= ratio <= 1.25
+
+    def test_wide_configs_blow_up(self):
+        """The infeasible corner of Fig. 2b: 32-way latencies explode."""
+        ratio = (MODEL.access_latency_ns(128 * KB, 32)
+                 / MODEL.access_latency_ns(128 * KB, 8))
+        assert ratio > 2.0
+
+    def test_latency_grows_with_size(self):
+        assert (MODEL.access_latency_ns(128 * KB, 8)
+                > MODEL.access_latency_ns(16 * KB, 8))
+
+    def test_cycles_conversion_ceils(self):
+        ns = MODEL.access_latency_ns(32 * KB, 8)
+        cycles = MODEL.access_latency_cycles(32 * KB, 8, 1.33)
+        assert cycles == math.ceil(ns * 1.33)
+        assert cycles >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MODEL.access_latency_ns(0, 8)
+        with pytest.raises(ValueError):
+            MODEL.access_energy_nj(32 * KB, 0)
+
+
+class TestEnergyTrends:
+    def test_energy_grows_40_to_50_percent_per_step(self):
+        """Paper Fig. 2c: 40-50% per associativity doubling."""
+        for size in (16 * KB, 32 * KB, 128 * KB):
+            for ways in (1, 2, 4, 8, 16):
+                ratio = (MODEL.access_energy_nj(size, ways * 2)
+                         / MODEL.access_energy_nj(size, ways))
+                assert 1.40 <= ratio <= 1.50
+
+    def test_absolute_range_matches_fig2c(self):
+        # Fig. 2c spans roughly 0.01 nJ (16KB DM) to ~0.2 nJ (128KB 32w).
+        assert 0.005 <= MODEL.access_energy_nj(16 * KB, 1) <= 0.02
+        assert 0.1 <= MODEL.access_energy_nj(128 * KB, 32) <= 0.3
+
+
+class TestPartialLookup:
+    def test_full_probe_equals_access_energy(self):
+        assert (MODEL.partial_lookup_energy_nj(32 * KB, 8, 8)
+                == MODEL.access_energy_nj(32 * KB, 8))
+
+    def test_4_of_8_way_saving_near_paper_39_percent(self):
+        """Paper §IV-A4: a SEESAW 4-way access costs 39.43% less than the
+        baseline 8-way access (including the 0.41% partition overhead)."""
+        full = MODEL.access_energy_nj(32 * KB, 8)
+        partial = MODEL.partial_lookup_energy_nj(32 * KB, 8, 4)
+        saving = 1 - partial / full
+        assert 0.35 <= saving <= 0.45
+
+    def test_partition_overhead_applied(self):
+        """SEESAW's extra muxing costs ~0.41% on narrow probes."""
+        base = MODEL.access_energy_nj(32 * KB, 8)
+        narrow = MODEL.partial_lookup_energy_nj(32 * KB, 8, 4)
+        ideal = base * (4 / 8) ** MODEL.partial_exponent
+        assert narrow / ideal == pytest.approx(1.0041)
+
+    def test_rejects_bad_probe_width(self):
+        with pytest.raises(ValueError):
+            MODEL.partial_lookup_energy_nj(32 * KB, 8, 0)
+        with pytest.raises(ValueError):
+            MODEL.partial_lookup_energy_nj(32 * KB, 8, 9)
+
+    def test_monotone_in_ways_probed(self):
+        energies = [MODEL.partial_lookup_energy_nj(32 * KB, 8, w)
+                    for w in range(1, 9)]
+        assert energies == sorted(energies)

@@ -1,0 +1,64 @@
+"""Tests for the simulation result container and its serialization."""
+
+import json
+
+import pytest
+
+from repro.energy.accounting import EnergyBreakdown
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimulationResult
+from repro.sim.system import simulate
+from repro.workloads.suite import build_trace, get_workload
+
+
+def make_result(**overrides):
+    defaults = dict(
+        config_description="test", workload="w",
+        runtime_cycles=1000, instructions=3000,
+        energy=EnergyBreakdown(l1_cpu_lookup_nj=10.0, leakage_nj=5.0),
+        l1_hits=800, l1_misses=200, l1_ways_probed=8000,
+        superpage_reference_fraction=0.8,
+        footprint_superpage_fraction=0.75,
+        memory_references=1000,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(3.0)
+
+    def test_hit_rate(self):
+        assert make_result().l1_hit_rate == pytest.approx(0.8)
+
+    def test_mpki(self):
+        assert make_result().l1_mpki == pytest.approx(200 / 3.0)
+
+    def test_total_energy(self):
+        assert make_result().total_energy_nj == pytest.approx(15.0)
+
+    def test_zero_division_guards(self):
+        result = make_result(runtime_cycles=0, instructions=0,
+                             l1_hits=0, l1_misses=0)
+        assert result.ipc == 0.0
+        assert result.l1_hit_rate == 0.0
+        assert result.l1_mpki == 0.0
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        result = make_result()
+        payload = json.loads(result.to_json())
+        assert payload["runtime_cycles"] == 1000
+        assert payload["energy_nj"]["l1_cpu_lookup"] == pytest.approx(10.0)
+        assert payload["energy_total_nj"] == pytest.approx(15.0)
+
+    def test_real_simulation_result_serializes(self):
+        trace = build_trace(get_workload("astar"), length=3000, seed=9)
+        result = simulate(SystemConfig(), trace)
+        payload = json.loads(result.to_json())
+        assert payload["workload"] == "astar"
+        assert payload["l1_hit_rate"] > 0
+        assert set(payload["energy_nj"]) >= {"l1_cpu_lookup", "llc",
+                                             "leakage"}

@@ -1,0 +1,147 @@
+"""Integration tests for the full-system simulator."""
+
+import pytest
+
+from repro.core.seesaw import SeesawL1Cache
+from repro.sim.config import SystemConfig
+from repro.sim.system import SystemSimulator, simulate
+from repro.workloads.suite import build_trace, get_workload
+from repro.workloads.trace import MemoryTrace
+
+TRACE = build_trace(get_workload("redis"), length=6000, seed=11)
+MT_TRACE = build_trace(get_workload("nutch"), length=6000, seed=11)
+
+
+def run(config, trace=TRACE):
+    return SystemSimulator(config, trace).run()
+
+
+class TestBasicRuns:
+    def test_seesaw_run_produces_sane_result(self):
+        result = run(SystemConfig(l1_design="seesaw"))
+        assert result.runtime_cycles > 0
+        assert 0 < result.ipc < 4
+        assert 0 < result.l1_hit_rate < 1
+        assert result.total_energy_nj > 0
+        assert 0 <= result.superpage_reference_fraction <= 1
+
+    def test_vipt_and_pipt_also_run(self):
+        for design in ("vipt", "pipt"):
+            result = run(SystemConfig(l1_design=design))
+            assert result.runtime_cycles > 0
+            assert result.tft_hit_rate == 0.0   # no TFT in baselines
+
+    def test_simulate_helper(self):
+        result = simulate(SystemConfig(), TRACE)
+        assert result.workload == "redis"
+
+    def test_deterministic(self):
+        a = run(SystemConfig(seed=3))
+        b = run(SystemConfig(seed=3))
+        assert a.runtime_cycles == b.runtime_cycles
+        assert a.total_energy_nj == pytest.approx(b.total_energy_nj)
+
+    def test_multithreaded_uses_one_core_per_thread(self):
+        sim = SystemSimulator(SystemConfig(), MT_TRACE)
+        assert sim.num_cores == 2
+        result = sim.run()
+        assert result.coherence_probes > 0
+
+
+class TestDesignDifferences:
+    def test_seesaw_probes_fewer_ways_than_vipt(self):
+        seesaw = run(SystemConfig(l1_design="seesaw"))
+        vipt = run(SystemConfig(l1_design="vipt"))
+        assert seesaw.l1_ways_probed < vipt.l1_ways_probed
+
+    def test_seesaw_not_slower_than_vipt(self):
+        seesaw = run(SystemConfig(l1_design="seesaw"))
+        vipt = run(SystemConfig(l1_design="vipt"))
+        assert seesaw.runtime_cycles <= vipt.runtime_cycles * 1.01
+
+    def test_seesaw_saves_energy(self):
+        seesaw = run(SystemConfig(l1_design="seesaw"))
+        vipt = run(SystemConfig(l1_design="vipt"))
+        assert seesaw.total_energy_nj < vipt.total_energy_nj
+
+    def test_inorder_gains_exceed_ooo(self):
+        gains = {}
+        for core in ("ooo", "inorder"):
+            seesaw = run(SystemConfig(l1_design="seesaw", core=core,
+                                      l1_size_kb=64))
+            vipt = run(SystemConfig(l1_design="vipt", core=core,
+                                    l1_size_kb=64))
+            gains[core] = 1 - seesaw.runtime_cycles / vipt.runtime_cycles
+        assert gains["inorder"] >= gains["ooo"]
+
+
+class TestFragmentationEffects:
+    def test_memhog_reduces_superpage_coverage(self):
+        light = run(SystemConfig(memhog_fraction=0.0))
+        heavy = run(SystemConfig(memhog_fraction=0.6))
+        assert (heavy.footprint_superpage_fraction
+                < light.footprint_superpage_fraction)
+
+    def test_thp_never_gives_zero_superpages(self):
+        from repro.mem.os_policy import THPPolicy
+        result = run(SystemConfig(thp_policy=THPPolicy.NEVER))
+        assert result.superpage_reference_fraction == 0.0
+        assert result.tft_hit_rate == 0.0
+
+
+class TestWarmupAndReset:
+    def test_warmup_zero_counts_everything(self):
+        sim = SystemSimulator(SystemConfig(), TRACE)
+        result = sim.run(warmup_fraction=0.0)
+        assert result.memory_references == len(TRACE)
+
+    def test_warmup_shrinks_measured_window(self):
+        sim = SystemSimulator(SystemConfig(), TRACE)
+        result = sim.run(warmup_fraction=0.5)
+        assert result.memory_references == len(TRACE) // 2
+
+    def test_reset_measurements_preserves_cache_state(self):
+        sim = SystemSimulator(SystemConfig(), TRACE)
+        sim.run(warmup_fraction=0.0)
+        lines_before = sim.l1s[0].store.valid_lines()
+        sim.reset_measurements()
+        assert sim.l1s[0].store.valid_lines() == lines_before
+        assert sim.l1s[0].stats.accesses == 0
+
+
+class TestHooksWiring:
+    def test_seesaw_tft_populated_via_tlb_fills(self):
+        sim = SystemSimulator(SystemConfig(l1_design="seesaw"), TRACE)
+        sim.run(warmup_fraction=0.0)   # warmup would reset the fill stats
+        assert sim.l1s[0].tft.stats.fills > 0
+
+    def test_context_switch_interval_flushes_tft(self):
+        config = SystemConfig(l1_design="seesaw",
+                              context_switch_interval=500)
+        sim = SystemSimulator(config, TRACE)
+        sim.run(warmup_fraction=0.0)
+        assert sim.l1s[0].tft.stats.flushes > 0
+
+    def test_snoopy_coherence_option(self):
+        result = run(SystemConfig(coherence="snoop"), MT_TRACE)
+        assert result.runtime_cycles > 0
+
+    def test_no_coherence_option(self):
+        result = run(SystemConfig(coherence="none",
+                                  system_probe_interval=0))
+        assert result.coherence_probes == 0
+
+
+class TestWayPredictionDesigns:
+    def test_wp_only_design_runs(self):
+        result = run(SystemConfig(l1_design="vipt", way_prediction=True))
+        assert result.way_prediction_accuracy is not None
+
+    def test_wp_plus_seesaw(self):
+        result = run(SystemConfig(l1_design="seesaw", way_prediction=True))
+        assert result.way_prediction_accuracy is not None
+
+    def test_wp_saves_energy_over_plain_vipt(self):
+        plain = run(SystemConfig(l1_design="vipt"))
+        wp = run(SystemConfig(l1_design="vipt", way_prediction=True))
+        assert wp.total_energy_nj < plain.total_energy_nj

@@ -1,0 +1,125 @@
+"""Tests for the split/unified TLB hierarchies and page walker."""
+
+import pytest
+
+from repro.mem.address import PAGE_SIZE_2MB, PageSize
+from repro.mem.page_table import PageTable, TranslationFault
+from repro.tlb.hierarchy import SplitTLBHierarchy, UnifiedTLBHierarchy
+from repro.tlb.walker import PageWalker
+
+VA_4KB = 0x1000
+VA_2MB = 0x4000_0000
+
+
+@pytest.fixture
+def mapped_table(page_table):
+    page_table.map(VA_4KB, 0x9000, PageSize.BASE_4KB)
+    page_table.map(VA_2MB, 0x20_0000, PageSize.SUPER_2MB)
+    return page_table
+
+
+class TestPageWalker:
+    def test_walk_cost_scales_with_levels(self, mapped_table):
+        walker = PageWalker(mapped_table, cycles_per_reference=10)
+        assert walker.walk(VA_4KB).latency_cycles == 40
+        assert walker.walk(VA_2MB).latency_cycles == 30
+        assert walker.stats.walks == 2
+        assert walker.stats.base_page_walks == 1
+        assert walker.stats.superpage_walks == 1
+
+    def test_walk_unmapped_faults(self, page_table):
+        walker = PageWalker(page_table)
+        with pytest.raises(TranslationFault):
+            walker.walk(0xDEAD000)
+
+
+class TestSplitHierarchy:
+    def make(self, table, l2_entries=0):
+        return SplitTLBHierarchy(table, l1_4kb_entries=16, l1_2mb_entries=8,
+                                 l2_entries=l2_entries)
+
+    def test_first_translation_walks(self, mapped_table):
+        tlbs = self.make(mapped_table)
+        result = tlbs.translate(VA_4KB + 5)
+        assert result.level == "walk"
+        assert result.physical_address == 0x9005
+        assert result.page_size is PageSize.BASE_4KB
+
+    def test_second_translation_hits_l1(self, mapped_table):
+        tlbs = self.make(mapped_table)
+        tlbs.translate(VA_4KB)
+        result = tlbs.translate(VA_4KB + 100)
+        assert result.level == "l1"
+        assert result.latency_cycles == tlbs.l1_latency
+
+    def test_superpage_goes_to_2mb_tlb(self, mapped_table):
+        tlbs = self.make(mapped_table)
+        tlbs.translate(VA_2MB + 123)
+        assert tlbs.l1_2mb.valid_entry_count() == 1
+        assert tlbs.l1_4kb.valid_entry_count() == 0
+        result = tlbs.translate(VA_2MB + PAGE_SIZE_2MB - 1)
+        assert result.level == "l1"
+        assert result.is_superpage
+
+    def test_l2_tlb_catches_l1_evictions(self, mapped_table):
+        # Map enough base pages to overflow the 16-entry L1.
+        for i in range(2, 40):
+            mapped_table.map(i << 12, (1000 + i) << 12, PageSize.BASE_4KB)
+        tlbs = self.make(mapped_table, l2_entries=512)
+        for i in range(2, 40):
+            tlbs.translate(i << 12)
+        # Page 2 long evicted from L1 but still in the big L2.
+        result = tlbs.translate(2 << 12)
+        assert result.level == "l2"
+
+    def test_fill_hook_fires_on_l1_fills(self, mapped_table):
+        tlbs = self.make(mapped_table)
+        fills = []
+        tlbs.register_fill_hook(lambda entry: fills.append(entry.page_size))
+        tlbs.translate(VA_2MB)
+        tlbs.translate(VA_4KB)
+        assert fills == [PageSize.SUPER_2MB, PageSize.BASE_4KB]
+
+    def test_invalidate_reaches_all_levels(self, mapped_table):
+        tlbs = self.make(mapped_table, l2_entries=64)
+        tlbs.translate(VA_2MB)
+        tlbs.invalidate(VA_2MB, PageSize.SUPER_2MB)
+        assert tlbs.l1_2mb.probe(VA_2MB) is None
+        assert tlbs.l2_tlb.probe(VA_2MB) is None
+
+    def test_superpage_counters(self, mapped_table):
+        tlbs = self.make(mapped_table)
+        assert tlbs.superpage_l1_capacity() == 8
+        assert tlbs.superpage_l1_valid_entries() == 0
+        tlbs.translate(VA_2MB)
+        assert tlbs.superpage_l1_valid_entries() == 1
+
+    def test_translation_latency_accumulates_on_miss_path(self, mapped_table):
+        tlbs = SplitTLBHierarchy(mapped_table, l1_4kb_entries=16,
+                                 l1_2mb_entries=8, l2_entries=64,
+                                 l1_latency=1, l2_latency=7)
+        result = tlbs.translate(VA_4KB)
+        # L1 miss + L2 miss + walk.
+        assert result.latency_cycles > 1 + 7
+
+
+class TestUnifiedHierarchy:
+    def test_unified_l1_holds_both_sizes(self, mapped_table):
+        tlbs = UnifiedTLBHierarchy(mapped_table, l1_entries=8, l2_entries=0)
+        tlbs.translate(VA_4KB)
+        tlbs.translate(VA_2MB)
+        assert tlbs.l1.valid_entry_count() == 2
+        assert tlbs.translate(VA_4KB).level == "l1"
+        assert tlbs.translate(VA_2MB).level == "l1"
+
+    def test_superpage_counters(self, mapped_table):
+        tlbs = UnifiedTLBHierarchy(mapped_table, l1_entries=8, l2_entries=0)
+        tlbs.translate(VA_2MB)
+        assert tlbs.superpage_l1_valid_entries() == 1
+        assert tlbs.superpage_l1_capacity() == 8
+
+    def test_invalidate(self, mapped_table):
+        tlbs = UnifiedTLBHierarchy(mapped_table, l1_entries=8, l2_entries=64)
+        tlbs.translate(VA_2MB)
+        tlbs.invalidate(VA_2MB, PageSize.SUPER_2MB)
+        assert tlbs.l1.probe(VA_2MB) is None
