@@ -117,12 +117,18 @@ class SetAssociativeCache:
         line_size: line size in bytes (default 64).
         replacement: ``lru`` | ``plru`` | ``random``.
         name: label for reporting.
+        seed: base seed for stochastic replacement (per-set streams are
+            derived as ``seed + set_index``).
+        rng: optional shared ``numpy.random.Generator``; when given, every
+            set's stochastic policy draws from this single stream instead
+            of a per-set one (the reproducibility seam — one RNG for the
+            whole cache).
     """
 
     def __init__(self, size_bytes: int, ways: int,
                  line_size: int = CACHE_LINE_SIZE,
                  replacement: str = "lru", name: str = "cache",
-                 seed: int = 0) -> None:
+                 seed: int = 0, rng=None) -> None:
         if size_bytes % (ways * line_size):
             raise ValueError("size must be a multiple of ways * line_size")
         self.name = name
@@ -137,6 +143,7 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self.replacement = replacement
         self.seed = seed
+        self.rng = rng
         # Sets are materialized lazily: a 24MB LLC has ~25k sets and most
         # simulations touch a small fraction of them.
         self._sets: Dict[int, CacheSet] = {}
@@ -149,7 +156,7 @@ class SetAssociativeCache:
             cache_set = CacheSet(
                 self.ways,
                 make_policy(self.replacement, self.ways,
-                            seed=self.seed + index))
+                            seed=self.seed + index, rng=self.rng))
             self._sets[index] = cache_set
         return cache_set
 

@@ -106,11 +106,16 @@ class TreePLRUPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform random replacement (seeded for reproducibility)."""
+    """Uniform random replacement (seeded for reproducibility).
 
-    def __init__(self, ways: int, seed: int = 0) -> None:
+    Pass ``rng`` to draw victims from a shared
+    :class:`numpy.random.Generator` instead of a per-policy stream.
+    """
+
+    def __init__(self, ways: int, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(ways)
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def touch(self, way: int) -> None:  # random replacement keeps no state
         pass
@@ -121,12 +126,17 @@ class RandomPolicy(ReplacementPolicy):
         return int(candidates[int(self._rng.integers(0, len(candidates)))])
 
 
-def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
-    """Factory: ``lru`` | ``plru`` | ``random``."""
+def make_policy(name: str, ways: int, seed: int = 0,
+                rng: Optional[np.random.Generator] = None) -> ReplacementPolicy:
+    """Factory: ``lru`` | ``plru`` | ``random``.
+
+    ``rng`` (optional) is a shared generator handed to stochastic policies;
+    deterministic policies ignore it.
+    """
     if name == "lru":
         return LRUPolicy(ways)
     if name == "plru":
         return TreePLRUPolicy(ways)
     if name == "random":
-        return RandomPolicy(ways, seed=seed)
+        return RandomPolicy(ways, seed=seed, rng=rng)
     raise ValueError(f"unknown replacement policy: {name!r}")

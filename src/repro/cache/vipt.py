@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.devtools import sanitize as _sanitize
 from repro.mem.address import PAGE_SIZE_4KB, CACHE_LINE_SIZE, PageSize
 from repro.cache.basic import CacheLine, SetAssociativeCache
 
@@ -92,7 +93,8 @@ class ViptL1Cache:
     MAX_SETS = PAGE_SIZE_4KB // CACHE_LINE_SIZE
 
     def __init__(self, size_bytes: int, timing: L1Timing,
-                 name: str = "vipt-l1", seed: int = 0) -> None:
+                 name: str = "vipt-l1", seed: int = 0,
+                 sanitize: bool = False) -> None:
         ways = size_bytes // (self.MAX_SETS * CACHE_LINE_SIZE)
         if ways < 1:
             raise ValueError("cache smaller than one way per VIPT set")
@@ -100,6 +102,7 @@ class ViptL1Cache:
         self.name = name
         self.store = SetAssociativeCache(
             size_bytes, ways, replacement="lru", name=name, seed=seed)
+        self._sanitize = bool(sanitize) or _sanitize.enabled()
 
     # ------------------------------------------------------------- properties
 
@@ -120,6 +123,9 @@ class ViptL1Cache:
     def access(self, virtual_address: int, physical_address: int,
                page_size: PageSize, is_write: bool = False) -> L1AccessResult:
         """CPU-side lookup. All ways of the indexed set are probed."""
+        if self._sanitize:
+            _sanitize.check_vipt_index(self.store, virtual_address,
+                                       physical_address, self.name)
         hit = self.store.probe(physical_address, is_write=is_write)
         return L1AccessResult(
             hit=hit,

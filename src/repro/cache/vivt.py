@@ -50,6 +50,10 @@ class VivtL1Cache:
         hit_cycles: array lookup latency (no TLB serialization at all).
     """
 
+    #: The store is searched by *virtual* address; the runtime sanitizer's
+    #: physical-address holder checks must skip this design.
+    physically_indexed = False
+
     def __init__(self, size_bytes: int, ways: int, hit_cycles: int,
                  name: str = "vivt-l1", seed: int = 0) -> None:
         self.timing = L1Timing(base_hit_cycles=hit_cycles,
@@ -111,7 +115,7 @@ class VivtL1Cache:
         pline = physical_address & ~(CACHE_LINE_SIZE - 1)
         aliases = self._reverse.get(pline, set()) - {vline}
         extra = 0
-        for alias in list(aliases):
+        for alias in sorted(aliases):
             self.store.invalidate_line(alias)
             self._drop_mapping(alias)
             extra += self.ways
@@ -147,7 +151,7 @@ class VivtL1Cache:
         one cache probe per cached virtual alias."""
         pline = physical_address & ~(CACHE_LINE_SIZE - 1)
         self.synonym_stats.reverse_map_probes += 1
-        aliases = list(self._reverse.get(pline, ()))
+        aliases = sorted(self._reverse.get(pline, ()))
         present = False
         dirty = False
         ways_probed = max(self.ways, self.ways * len(aliases))

@@ -8,10 +8,12 @@
 * ``compare``    — run SEESAW against a baseline on identical traces and
   print runtime/energy improvements;
 * ``sweep``      — the compare, across several workloads;
-* ``table3``     — print the paper's Table III latency configurations.
+* ``table3``     — print the paper's Table III latency configurations;
+* ``lint``       — run the simlint static analyser (``repro lint src/``).
 
 Every command accepts ``--seed`` and ``--length`` so results are exactly
-reproducible.
+reproducible, and every simulating command accepts ``--sanitize`` to arm
+the runtime invariant sanitizer (see :mod:`repro.devtools.sanitize`).
 """
 
 from __future__ import annotations
@@ -51,6 +53,9 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--length", type=int, default=30_000,
                         help="trace length in references")
     parser.add_argument("--seed", type=int, default=42, help="RNG seed")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm the runtime invariant sanitizer "
+                             "(equivalent to REPRO_SANITIZE=1)")
 
 
 def _config_from_args(args: argparse.Namespace,
@@ -63,6 +68,7 @@ def _config_from_args(args: argparse.Namespace,
         memhog_fraction=args.memhog,
         way_prediction=args.way_prediction,
         seed=args.seed,
+        sanitize=args.sanitize,
     )
 
 
@@ -143,6 +149,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.simlint import cli as simlint_cli
+    argv: List[str] = list(args.paths)
+    if args.json:
+        argv.insert(0, "--json")
+    if args.select:
+        argv[:0] = ["--select", args.select]
+    return simlint_cli.main(argv)
+
+
 def cmd_table3(args: argparse.Namespace) -> int:
     rows = [[f"{size}KB", f"{freq:.2f}GHz", tft, base, super_]
             for (size, freq), (tft, base, super_) in sorted(TABLE3.items())]
@@ -178,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(WORKLOADS), default=None)
     sweep.add_argument("--baseline", choices=DESIGNS, default="vipt")
     _add_machine_arguments(sweep)
+
+    lint = sub.add_parser("lint",
+                          help="run the simlint static analyser")
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to analyse (e.g. src/)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule IDs to run")
     return parser
 
 
@@ -188,6 +213,7 @@ _HANDLERS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "table3": cmd_table3,
+    "lint": cmd_lint,
 }
 
 

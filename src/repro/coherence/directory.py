@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.coherence.protocol import MoesiState
+from repro.devtools import sanitize as _sanitize
 
 #: Called for every probe delivered to a core's L1:
 #: (core id, ways probed) — the hook the energy accountant registers.
@@ -49,12 +50,14 @@ class Directory:
     drives every design point.
     """
 
-    def __init__(self, caches: List, line_size: int = 64) -> None:
+    def __init__(self, caches: List, line_size: int = 64,
+                 sanitize: bool = False) -> None:
         self.caches = caches
         self.line_size = line_size
         self.stats = DirectoryStats()
         self._entries: Dict[int, DirectoryEntry] = {}
         self._probe_listeners: List[ProbeListener] = []
+        self._sanitize = bool(sanitize) or _sanitize.enabled()
 
     def register_probe_listener(self, listener: ProbeListener) -> None:
         """Observe every delivered probe (core id, ways probed)."""
@@ -96,6 +99,10 @@ class Directory:
             self.stats.owner_forwards += 1
             forwarded = True
         entry.sharers.add(core)
+        if self._sanitize:
+            _sanitize.check_coherence_entry(
+                self.caches, line, entry.sharers, entry.owner,
+                context="directory.cpu_read")
         return forwarded
 
     def cpu_write(self, core: int, physical_address: int) -> int:
@@ -116,6 +123,9 @@ class Directory:
                 probes += 1
         entry.sharers = {core}
         entry.owner = core
+        if self._sanitize:
+            _sanitize.check_write_exclusivity(
+                self.caches, line, core, context="directory.cpu_write")
         return probes
 
     def evict(self, core: int, physical_address: int) -> None:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Set
 
+from repro.devtools import sanitize as _sanitize
+
 ProbeListener = Callable[[int, int], None]
 
 
@@ -29,10 +31,12 @@ class SnoopStats:
 class SnoopyBus:
     """Broadcast fabric over per-core L1 frontends."""
 
-    def __init__(self, caches: List, line_size: int = 64) -> None:
+    def __init__(self, caches: List, line_size: int = 64,
+                 sanitize: bool = False) -> None:
         self.caches = caches
         self.line_size = line_size
         self.stats = SnoopStats()
+        self._sanitize = bool(sanitize) or _sanitize.enabled()
         self._probe_listeners: List[ProbeListener] = []
         # A snoop filter: minimal sharer tracking so write *hits* know
         # whether an upgrade broadcast is needed.  Probe delivery itself
@@ -69,13 +73,25 @@ class SnoopyBus:
         """Broadcast a read miss; True if any remote cache held the line."""
         line = self._line(physical_address)
         self._sharers.setdefault(line, set()).add(core)
-        return self._broadcast(core, line, invalidate=False) > 0
+        hit_remote = self._broadcast(core, line, invalidate=False) > 0
+        if self._sanitize:
+            # The snoop filter over-approximates sharers, so only the
+            # single-writer invariant is checkable here.
+            dirty = _sanitize.dirty_holders(self.caches, line)
+            _sanitize.check(
+                len(dirty) <= 1,
+                f"snoop.cpu_read: line {line:#x} dirty in multiple L1s "
+                f"{dirty}")
+        return hit_remote
 
     def cpu_write(self, core: int, physical_address: int) -> int:
         """Broadcast an invalidating write; returns probes delivered."""
         line = self._line(physical_address)
         self._broadcast(core, line, invalidate=True)
         self._sharers[line] = {core}
+        if self._sanitize:
+            _sanitize.check_write_exclusivity(
+                self.caches, line, core, context="snoop.cpu_write")
         return len(self.caches) - 1
 
     def sharer_count(self, physical_address: int) -> int:

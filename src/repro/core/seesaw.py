@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro.devtools import sanitize as _sanitize
 from repro.mem.address import CACHE_LINE_SIZE, PageSize
 from repro.cache.basic import CacheLine, SetAssociativeCache
 from repro.cache.vipt import CoherenceProbeResult, L1AccessResult, L1Timing
@@ -102,7 +103,8 @@ class SeesawL1Cache:
                  wp_gate: Optional[WayPredictionGate] = None,
                  wp_mispredict_penalty: Optional[int] = None,
                  promotion_sweep_cycles: int = 175,
-                 name: str = "seesaw-l1", seed: int = 0) -> None:
+                 name: str = "seesaw-l1", seed: int = 0,
+                 sanitize: bool = False) -> None:
         num_sets = self.MAX_SETS
         ways = size_bytes // (num_sets * CACHE_LINE_SIZE)
         if ways < partition_ways:
@@ -123,6 +125,7 @@ class SeesawL1Cache:
         self.store = SetAssociativeCache(
             size_bytes, ways, replacement="lru", name=name, seed=seed)
         self.seesaw_stats = SeesawStats()
+        self._sanitize = bool(sanitize) or _sanitize.enabled()
 
     # ------------------------------------------------------------ properties
 
@@ -203,6 +206,12 @@ class SeesawL1Cache:
         parallel TLB lookup, exactly as in baseline VIPT; the TFT outcome
         decides how many ways were probed and the resulting latency.
         """
+        if self._sanitize:
+            _sanitize.check_vipt_index(self.store, virtual_address,
+                                       physical_address, self.name)
+            _sanitize.check_partition_consistency(
+                self.partitioning, virtual_address, physical_address,
+                page_size, self.name)
         set_index = self.store.set_index(physical_address)
         cache_set = self.store.set_at(set_index)
         tag = self.store.tag_of(physical_address)

@@ -1,0 +1,21 @@
+"""Developer tooling for the SEESAW reproduction.
+
+Two halves:
+
+* :mod:`repro.devtools.simlint` — simulator-aware static analysis over the
+  ``src/repro`` tree (stdlib :mod:`ast`, no third-party dependencies).  Run
+  it as ``python -m repro.devtools.simlint src/`` or ``repro lint``.
+* :mod:`repro.devtools.sanitize` — a runtime invariant sanitizer enabled by
+  ``REPRO_SANITIZE=1`` (or ``SystemConfig(sanitize=True)``) that adds cheap
+  cross-checks to coherence, VIPT indexing, TLB translation and the final
+  :class:`~repro.sim.stats.SimulationResult`.
+
+Both exist because the figure pipeline is only as trustworthy as the
+simulator's internal accounting: a counter that is declared but never
+incremented, or an iteration order that differs between runs, silently
+corrupts every downstream number.
+"""
+
+from repro.devtools import sanitize
+
+__all__ = ["sanitize"]

@@ -1,0 +1,6 @@
+"""``python -m repro.devtools.simlint`` entry point."""
+
+from repro.devtools.simlint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

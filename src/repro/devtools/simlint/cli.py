@@ -1,0 +1,76 @@
+"""Command-line front end for simlint (shared by ``__main__`` and ``repro``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.simlint.checkers import default_checkers
+from repro.devtools.simlint.framework import (
+    ALL_RULES,
+    Finding,
+    render_json,
+    run_checkers,
+)
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="Simulator-aware static analysis for the SEESAW repo.")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to analyse (e.g. src/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule IDs to run "
+                             f"(default: all of {','.join(ALL_RULES)})")
+    return parser
+
+
+def lint(paths: Sequence[str],
+         select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run simlint over ``paths`` and return the surviving findings."""
+    checkers = default_checkers()
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        checkers = [checker for checker in checkers if checker.rule in wanted]
+    return run_checkers(paths, checkers, root=Path.cwd())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    select = ([token.strip() for token in args.select.split(",")
+               if token.strip()] if args.select else None)
+    try:
+        findings = lint(args.paths, select=select)
+    except (FileNotFoundError, SyntaxError, ValueError) as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        if args.json:
+            print(render_json(findings))
+        else:
+            for finding in findings:
+                print(finding.render())
+            summary = (f"simlint: {len(findings)} finding(s)"
+                       if findings else "simlint: clean")
+            print(summary)
+    except BrokenPipeError:
+        pass  # report piped into a pager/head that exited early
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def console_main() -> None:
+    """Entry point for the ``repro-lint`` console script."""
+    raise SystemExit(main())

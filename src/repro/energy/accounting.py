@@ -44,6 +44,14 @@ class EnergyBreakdown:
     def dynamic_nj(self) -> float:
         return self.total_nj - self.leakage_nj
 
+    def validate(self) -> None:
+        """Invariant check: components finite, non-negative, summing to
+        ``total_nj``.  Raises
+        :class:`repro.devtools.sanitize.SanitizerError` on violation;
+        called by the runtime sanitizer on every finished result."""
+        from repro.devtools.sanitize import check_energy
+        check_energy(self)
+
     def as_dict(self) -> Dict[str, float]:
         """Component → nJ mapping (for reports)."""
         return {

@@ -111,6 +111,10 @@ class SystemConfig:
     # Misc
     context_switch_interval: Optional[int] = None
     seed: int = 7
+    # Runtime invariant sanitizer (repro.devtools.sanitize): adds cheap
+    # coherence/indexing/translation/result cross-checks.  Also enabled
+    # globally by REPRO_SANITIZE=1 in the environment.
+    sanitize: bool = False
 
     # ------------------------------------------------------------- validation
 
@@ -121,6 +125,8 @@ class SystemConfig:
             raise ValueError(f"unknown core model {self.core!r}")
         if self.coherence not in ("directory", "snoop", "none"):
             raise ValueError(f"unknown coherence fabric {self.coherence!r}")
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be at least 1")
 
     # -------------------------------------------------------------- derived
 

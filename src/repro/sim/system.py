@@ -37,6 +37,7 @@ from repro.core.scheduling import SchedulerModel
 from repro.core.seesaw import SeesawL1Cache
 from repro.cpu.inorder import InOrderCore
 from repro.cpu.ooo import OutOfOrderCore
+from repro.devtools import sanitize
 from repro.energy.accounting import EnergyAccountant
 from repro.energy.sram import SRAMModel
 from repro.mem.fragmentation import Memhog
@@ -56,6 +57,7 @@ class SystemSimulator:
         self.config = config
         self.trace = trace
         self.num_cores = max(trace.num_cores, 1)
+        self._sanitize = bool(config.sanitize or sanitize.enabled())
         self.sram = SRAMModel()
         self._rng = np.random.default_rng(config.seed)
         self._build_os()
@@ -113,7 +115,8 @@ class SystemSimulator:
         self.cores: List = []
         self.schedulers: List[Optional[SchedulerModel]] = []
         for core_id in range(self.num_cores):
-            tlb = SplitTLBHierarchy(page_table, **shape)
+            tlb = SplitTLBHierarchy(page_table, sanitize=self._sanitize,
+                                    **shape)
             self.tlbs.append(tlb)
             l1 = self._make_l1(core_id, timing)
             self.l1s.append(l1)
@@ -143,7 +146,8 @@ class SystemSimulator:
         seed = config.seed + 100 * core_id
         if config.l1_design == "vipt":
             l1 = ViptL1Cache(config.l1_size_bytes, timing,
-                             name=f"vipt-l1-{core_id}", seed=seed)
+                             name=f"vipt-l1-{core_id}", seed=seed,
+                             sanitize=self._sanitize)
             if config.way_prediction:
                 # WP-only design point (Fig. 15): wrap baseline VIPT in a
                 # SEESAW shell with a single partition (the predictor
@@ -161,7 +165,8 @@ class SystemSimulator:
                     partition_ways=config.l1_ways,   # one partition
                     tft_entries=1,
                     way_predictor=predictor,
-                    name=f"vipt-wp-l1-{core_id}", seed=seed)
+                    name=f"vipt-wp-l1-{core_id}", seed=seed,
+                    sanitize=self._sanitize)
             return l1
         if config.l1_design == "pipt":
             return PiptL1Cache(config.l1_size_bytes, config.pipt_ways,
@@ -184,12 +189,13 @@ class SystemSimulator:
             tft_entries=config.tft_entries,
             way_predictor=predictor,
             wp_gate=gate,
-            name=f"seesaw-l1-{core_id}", seed=seed)
+            name=f"seesaw-l1-{core_id}", seed=seed,
+            sanitize=self._sanitize)
 
     def _build_coherence(self) -> None:
         config = self.config
         if config.coherence == "directory":
-            self.fabric = Directory(self.l1s)
+            self.fabric = Directory(self.l1s, sanitize=self._sanitize)
         elif config.coherence == "snoop":
             self.fabric = SnoopyBus(self.l1s)
         else:
@@ -314,6 +320,11 @@ class SystemSimulator:
             config.l1_design == "vipt" and config.way_prediction)
         probe_interval = config.system_probe_interval
         cs_interval = config.context_switch_interval
+        if cs_interval is None and config.l1_design == "vivt":
+            # Without ASID tags a VIVT L1 must flush on every context
+            # switch; vivt_flush_interval models the OS scheduling quantum
+            # even when no explicit context-switch interval is configured.
+            cs_interval = config.vivt_flush_interval
         warmup_end = int(len(self.trace) * warmup_fraction)
         self._measured_references = 0
         self._prewarm()
@@ -420,8 +431,8 @@ class SystemSimulator:
                 if table.page_size_of(base) is PageSize.SUPER_2MB:
                     self.manager.splinter_superpage(base)
                     return
-            except Exception:
-                continue
+            except TranslationFault:
+                continue  # region not paged in yet; try the next one
 
     def _churn_promote(self) -> None:
         """Promote the next base-page-backed region (khugepaged model);
@@ -436,8 +447,8 @@ class SystemSimulator:
                 if table.page_size_of(base) is PageSize.BASE_4KB:
                     self.manager.promote_region(base, fault_in_missing=True)
                     return
-            except Exception:
-                continue
+            except TranslationFault:
+                continue  # region not paged in yet; try the next one
 
     # ----------------------------------------------------------------- stats
 
@@ -527,6 +538,8 @@ class SystemSimulator:
                     correct / predictions if predictions else 0.0)
         result.squashes = sum(s.stats.squashes for s in self.schedulers
                               if s is not None)
+        if self._sanitize:
+            sanitize.validate_result(result)
         return result
 
 

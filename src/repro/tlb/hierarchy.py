@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.devtools import sanitize as _sanitize
 from repro.mem.address import PageSize
 from repro.mem.page_table import PageTable
 from repro.tlb.tlb import TLB, TLBEntry
@@ -41,12 +42,14 @@ class TLBHierarchy:
     """Base class: common L2-TLB + walker machinery and fill hooks."""
 
     def __init__(self, l2_tlb: Optional[TLB], walker: PageWalker,
-                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+                 l1_latency: int = 1, l2_latency: int = 7,
+                 sanitize: bool = False) -> None:
         self.l2_tlb = l2_tlb
         self.walker = walker
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
         self._fill_hooks: List[FillHook] = []
+        self._sanitize = bool(sanitize) or _sanitize.enabled()
 
     # ---------------------------------------------------------------- hooks
 
@@ -90,12 +93,17 @@ class TLBHierarchy:
         entry = self._l1_lookup(virtual_address, asid)
         if entry is not None:
             offset = virtual_address & (int(entry.page_size) - 1)
-            return TranslationResult(
+            result = TranslationResult(
                 physical_address=entry.physical_base() | offset,
                 page_size=entry.page_size,
                 level="l1",
                 latency_cycles=self.l1_latency,
             )
+            if self._sanitize:
+                _sanitize.check_translation(
+                    self.walker.page_table, virtual_address,
+                    result.physical_address, level="l1")
+            return result
         latency = self.l1_latency
         if self.l2_tlb is not None:
             latency += self.l2_latency
@@ -106,12 +114,17 @@ class TLBHierarchy:
                 self._l1_fill(filled)
                 self._fire_fill(filled)
                 offset = virtual_address & (int(l2_entry.page_size) - 1)
-                return TranslationResult(
+                result = TranslationResult(
                     physical_address=l2_entry.physical_base() | offset,
                     page_size=l2_entry.page_size,
                     level="l2",
                     latency_cycles=latency,
                 )
+                if self._sanitize:
+                    _sanitize.check_translation(
+                        self.walker.page_table, virtual_address,
+                        result.physical_address, level="l2")
+                return result
         walk = self.walker.walk(virtual_address)
         latency += walk.latency_cycles
         mapping = walk.mapping
@@ -147,13 +160,14 @@ class SplitTLBHierarchy(TLBHierarchy):
                  l1_1gb_entries: int = 0, l1_1gb_ways: int = 4,
                  l2_entries: int = 0, l2_ways: int = 8,
                  walker: Optional[PageWalker] = None,
-                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+                 l1_latency: int = 1, l2_latency: int = 7,
+                 sanitize: bool = False) -> None:
         l2_tlb = None
         if l2_entries:
             l2_tlb = TLB(l2_entries, l2_ways,
                          (PageSize.BASE_4KB, PageSize.SUPER_2MB), name="l2")
         super().__init__(l2_tlb, walker or PageWalker(page_table),
-                         l1_latency, l2_latency)
+                         l1_latency, l2_latency, sanitize=sanitize)
         self.l1_4kb = TLB(l1_4kb_entries, min(l1_4kb_ways, l1_4kb_entries),
                           (PageSize.BASE_4KB,), name="l1-4kb")
         self.l1_2mb = TLB(l1_2mb_entries, min(l1_2mb_ways, l1_2mb_entries),
@@ -212,13 +226,14 @@ class UnifiedTLBHierarchy(TLBHierarchy):
                  l1_entries: int = 48,
                  l2_entries: int = 1024, l2_ways: int = 8,
                  walker: Optional[PageWalker] = None,
-                 l1_latency: int = 1, l2_latency: int = 7) -> None:
+                 l1_latency: int = 1, l2_latency: int = 7,
+                 sanitize: bool = False) -> None:
         l2_tlb = None
         if l2_entries:
             l2_tlb = TLB(l2_entries, l2_ways,
                          (PageSize.BASE_4KB, PageSize.SUPER_2MB), name="l2")
         super().__init__(l2_tlb, walker or PageWalker(page_table),
-                         l1_latency, l2_latency)
+                         l1_latency, l2_latency, sanitize=sanitize)
         self.l1 = TLB(l1_entries, l1_entries,
                       (PageSize.BASE_4KB, PageSize.SUPER_2MB,
                        PageSize.SUPER_1GB),

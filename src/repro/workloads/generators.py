@@ -16,7 +16,11 @@ cover the behaviours that differentiate the paper's workloads:
 * :class:`MixedGenerator` — weighted composition of the above.
 
 All generators are seeded and deterministic; addresses come out as numpy
-arrays for speed.
+arrays for speed.  Every generator accepts an optional ``rng`` so several
+generators (or a whole trace build) can draw from *one* shared
+:class:`numpy.random.Generator` — the reproducibility seam used by
+``build_trace(..., rng=...)``.  When ``rng`` is omitted, each generator
+seeds its own stream from ``seed`` exactly as before.
 """
 
 from __future__ import annotations
@@ -32,11 +36,12 @@ from repro.mem.address import CACHE_LINE_SIZE
 class PatternGenerator:
     """Base class: generates ``count`` line indices in ``[0, num_lines)``."""
 
-    def __init__(self, num_lines: int, seed: int = 0) -> None:
+    def __init__(self, num_lines: int, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
         if num_lines <= 0:
             raise ValueError("num_lines must be positive")
         self.num_lines = num_lines
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def generate(self, count: int) -> np.ndarray:
         """Return ``count`` line indices (dtype int64)."""
@@ -56,8 +61,9 @@ class ZipfGenerator(PatternGenerator):
     """
 
     def __init__(self, num_lines: int, s: float = 0.9,
-                 burst_mean: float = 4.0, seed: int = 0) -> None:
-        super().__init__(num_lines, seed)
+                 burst_mean: float = 4.0, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(num_lines, seed, rng)
         self.s = s
         self.burst_mean = burst_mean
         self.lines_per_page = 4096 // CACHE_LINE_SIZE
@@ -90,8 +96,9 @@ class ZipfGenerator(PatternGenerator):
 class StreamGenerator(PatternGenerator):
     """Sequential sweep with optional stride, wrapping at the footprint end."""
 
-    def __init__(self, num_lines: int, stride: int = 1, seed: int = 0) -> None:
-        super().__init__(num_lines, seed)
+    def __init__(self, num_lines: int, stride: int = 1, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(num_lines, seed, rng)
         if stride <= 0:
             raise ValueError("stride must be positive")
         self.stride = stride
@@ -114,8 +121,9 @@ class PointerChaseGenerator(PatternGenerator):
     the MRU way predictor sees near-random way usage.
     """
 
-    def __init__(self, num_lines: int, seed: int = 0) -> None:
-        super().__init__(num_lines, seed)
+    def __init__(self, num_lines: int, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(num_lines, seed, rng)
         # Build a single Hamiltonian cycle (as list-initialization code
         # does): successor[perm[i]] = perm[i+1].  A raw permutation used as
         # a successor table would decompose into several short cycles.
@@ -154,8 +162,9 @@ class MixedGenerator(PatternGenerator):
 
     def __init__(self, num_lines: int,
                  components: Sequence[tuple],
-                 chunk: int = 64, seed: int = 0) -> None:
-        super().__init__(num_lines, seed)
+                 chunk: int = 64, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(num_lines, seed, rng)
         if not components:
             raise ValueError("at least one component required")
         self.generators = [g for g, _ in components]

@@ -184,26 +184,31 @@ def get_workload(name: str) -> WorkloadSpec:
     return WORKLOADS[name]
 
 
-def _make_generator(spec: WorkloadSpec, num_lines: int,
-                    seed: int) -> PatternGenerator:
-    """Build the (possibly mixed) pattern generator for one region."""
+def _make_generator(spec: WorkloadSpec, num_lines: int, seed: int,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> PatternGenerator:
+    """Build the (possibly mixed) pattern generator for one region.
+
+    With ``rng`` set, every component draws from that one shared stream;
+    otherwise each seeds its own from ``seed`` (the historical layout).
+    """
     components = []
     zipf_w, stream_w, chase_w, uniform_w = spec.mix
     if zipf_w:
         components.append((ZipfGenerator(num_lines, s=spec.zipf_s,
-                                         seed=seed + 1), zipf_w))
+                                         seed=seed + 1, rng=rng), zipf_w))
     if stream_w:
-        components.append((StreamGenerator(num_lines, seed=seed + 2),
-                           stream_w))
+        components.append((StreamGenerator(num_lines, seed=seed + 2,
+                                           rng=rng), stream_w))
     if chase_w:
-        components.append((PointerChaseGenerator(num_lines, seed=seed + 3),
-                           chase_w))
+        components.append((PointerChaseGenerator(num_lines, seed=seed + 3,
+                                                 rng=rng), chase_w))
     if uniform_w:
-        components.append((UniformRandomGenerator(num_lines, seed=seed + 4),
-                           uniform_w))
+        components.append((UniformRandomGenerator(num_lines, seed=seed + 4,
+                                                  rng=rng), uniform_w))
     if len(components) == 1:
         return components[0][0]
-    return MixedGenerator(num_lines, components, seed=seed)
+    return MixedGenerator(num_lines, components, seed=seed, rng=rng)
 
 
 def _expand_reuse(lines: np.ndarray, mean_reuse: float, target_length: int,
@@ -239,15 +244,25 @@ def _expand_reuse(lines: np.ndarray, mean_reuse: float, target_length: int,
 
 
 def build_trace(spec: WorkloadSpec, length: int = 100_000,
-                seed: int = 42) -> MemoryTrace:
+                seed: int = 42,
+                rng: Optional[np.random.Generator] = None) -> MemoryTrace:
     """Generate a :class:`MemoryTrace` for a workload spec.
 
     The heap is laid out as [shared region | thread-0 region | thread-1
     region | ...]; each thread draws ``shared_fraction`` of its references
     from the shared region and the rest from its own.  References from the
     threads are interleaved round-robin, approximating concurrent execution.
+
+    Determinism: with the default ``rng=None``, every random stream is
+    derived from ``seed`` (per-thread sub-seeds), so the same
+    ``(spec, length, seed)`` always yields a bit-identical trace.  Passing
+    ``rng`` instead threads that *single* generator through every draw —
+    generators, reuse expansion, arena placement, writes, and gaps — for
+    callers that manage one experiment-wide RNG.  The two modes produce
+    different (but each fully reproducible) traces.
     """
-    rng = np.random.default_rng(seed)
+    shared_rng = rng
+    rng = rng if rng is not None else np.random.default_rng(seed)
     total_lines = spec.footprint_bytes // CACHE_LINE_SIZE
     shared_lines = (int(total_lines * spec.shared_fraction)
                     if spec.is_multithreaded else 0)
@@ -261,18 +276,21 @@ def build_trace(spec: WorkloadSpec, length: int = 100_000,
     for thread in range(spec.threads):
         thread_seed = seed + 1000 * (thread + 1)
         private_gen = _make_generator(spec, max(private_lines, 64),
-                                      thread_seed)
+                                      thread_seed, rng=shared_rng)
         private_base = shared_lines + thread * private_lines
         lines = private_gen.generate(unique_per_thread) + private_base
         if shared_lines:
             shared_gen = _make_generator(spec, shared_lines,
-                                         thread_seed + 500)
-            shared_mask = (np.random.default_rng(thread_seed + 7)
-                           .random(unique_per_thread) < spec.shared_fraction)
+                                         thread_seed + 500, rng=shared_rng)
+            mask_rng = (shared_rng if shared_rng is not None
+                        else np.random.default_rng(thread_seed + 7))
+            shared_mask = (mask_rng.random(unique_per_thread)
+                           < spec.shared_fraction)
             shared_stream = shared_gen.generate(int(shared_mask.sum()))
             lines[shared_mask] = shared_stream
         lines = _expand_reuse(lines, spec.line_reuse, per_thread,
-                              np.random.default_rng(thread_seed + 13))
+                              shared_rng if shared_rng is not None
+                              else np.random.default_rng(thread_seed + 13))
         thread_streams.append(lines)
 
     # Map line indices to virtual addresses, spreading the heap across
@@ -291,8 +309,9 @@ def build_trace(spec: WorkloadSpec, length: int = 100_000,
     # Arena bases stride by 67 regions (134MB): arenas never overlap (no
     # arena spans more than 67 regions at these footprints) and 67 mod 16
     # != 0, so different arenas land at varying TFT-slot phases.
-    arena_bases = (np.random.default_rng(seed + 99)
-                   .choice(61, size=n_arenas, replace=False) + 1) * 67
+    base_rng = (shared_rng if shared_rng is not None
+                else np.random.default_rng(seed + 99))
+    arena_bases = (base_rng.choice(61, size=n_arenas, replace=False) + 1) * 67
     bounds = np.array(arena_line_bounds)
     va_streams: List[np.ndarray] = []
     for lines in thread_streams:

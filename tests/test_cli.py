@@ -69,3 +69,39 @@ class TestCommands:
         assert main(["compare", "astar", "--baseline", "pipt",
                      "--length", "2000"]) == 0
         assert "vs pipt" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_lint_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_reports_findings_as_json(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(a_cycles, b_ns):\n    return a_cycles + b_ns\n")
+        assert main(["lint", "--json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "simlint"
+        assert payload["findings"][0]["rule"] == "SL004"
+
+    def test_lint_select_passes_through(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("def f(a_cycles, b_ns):\n    return a_cycles + b_ns\n")
+        assert main(["lint", "--select", "SL005", str(path)]) == 0
+        capsys.readouterr()
+
+
+class TestSanitizeFlag:
+    def test_sanitize_flag_reaches_config(self):
+        from repro.cli import _config_from_args
+        args = build_parser().parse_args(
+            ["run", "redis", "--sanitize", "--length", "500"])
+        assert _config_from_args(args).sanitize is True
+        args = build_parser().parse_args(["run", "redis", "--length", "500"])
+        assert _config_from_args(args).sanitize is False
+
+    def test_run_green_under_sanitizer(self, capsys):
+        assert main(["run", "astar", "--length", "2000", "--sanitize"]) == 0
+        assert "runtime_cycles" in capsys.readouterr().out

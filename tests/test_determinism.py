@@ -1,0 +1,111 @@
+"""Determinism regression tests.
+
+The reproducibility contract: the same ``(SystemConfig, trace)`` pair run
+twice yields a *bit-identical* ``SimulationResult.to_dict()`` — every
+counter and every energy float — and the same ``(spec, length, seed)``
+always rebuilds the identical trace.  The shared-RNG seam
+(``build_trace(..., rng=...)``, ``make_policy(..., rng=...)``) threads one
+``numpy`` generator through every stochastic draw for callers that manage
+a single experiment-wide stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.basic import SetAssociativeCache
+from repro.cache.replacement import RandomPolicy, make_policy
+from repro.sim.config import SystemConfig
+from repro.sim.system import SystemSimulator
+from repro.workloads.generators import UniformRandomGenerator, ZipfGenerator
+from repro.workloads.suite import build_trace, get_workload
+
+
+def _trace_tuple(trace):
+    return (trace.name, trace.addresses, trace.writes, trace.cores,
+            trace.gaps)
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        a = build_trace(get_workload("redis"), length=4000, seed=7)
+        b = build_trace(get_workload("redis"), length=4000, seed=7)
+        assert _trace_tuple(a) == _trace_tuple(b)
+
+    def test_multithreaded_trace_deterministic(self):
+        a = build_trace(get_workload("cann"), length=4000, seed=3)
+        b = build_trace(get_workload("cann"), length=4000, seed=3)
+        assert _trace_tuple(a) == _trace_tuple(b)
+
+    def test_different_seed_differs(self):
+        a = build_trace(get_workload("redis"), length=4000, seed=7)
+        b = build_trace(get_workload("redis"), length=4000, seed=8)
+        assert _trace_tuple(a) != _trace_tuple(b)
+
+    def test_shared_rng_mode_deterministic(self):
+        a = build_trace(get_workload("cann"), length=4000,
+                        rng=np.random.default_rng(11))
+        b = build_trace(get_workload("cann"), length=4000,
+                        rng=np.random.default_rng(11))
+        assert _trace_tuple(a) == _trace_tuple(b)
+
+
+class TestSharedRngSeam:
+    def test_generators_share_one_stream(self):
+        shared = np.random.default_rng(5)
+        g1 = UniformRandomGenerator(256, rng=shared)
+        g2 = UniformRandomGenerator(256, rng=shared)
+        assert g1.rng is shared and g2.rng is shared
+        first = g1.generate(16)
+        replay = np.random.default_rng(5).integers(0, 256, size=16,
+                                                   dtype=np.int64)
+        assert np.array_equal(first, replay)
+        # g2 continues the shared stream rather than replaying it.
+        assert not np.array_equal(g2.generate(16), replay)
+
+    def test_seeded_default_unchanged_by_rng_param(self):
+        a = ZipfGenerator(512, s=1.0, seed=9).generate(64)
+        b = ZipfGenerator(512, s=1.0, seed=9, rng=None).generate(64)
+        assert np.array_equal(a, b)
+
+    def test_random_policy_shared_rng(self):
+        shared = np.random.default_rng(9)
+        p1 = make_policy("random", 8, rng=shared)
+        p2 = make_policy("random", 8, rng=shared)
+        observed = ([p1.victim(range(8)) for _ in range(8)]
+                    + [p2.victim(range(8)) for _ in range(8)])
+        expected_rng = np.random.default_rng(9)
+        expected = [int(expected_rng.integers(0, 8)) for _ in range(16)]
+        assert observed == expected
+
+    def test_random_policy_per_seed_default(self):
+        a = RandomPolicy(8, seed=4)
+        b = RandomPolicy(8, seed=4)
+        assert ([a.victim(range(8)) for _ in range(10)]
+                == [b.victim(range(8)) for _ in range(10)])
+
+    def test_cache_threads_shared_rng_to_policies(self):
+        shared = np.random.default_rng(2)
+        cache = SetAssociativeCache(4096, 4, replacement="random",
+                                    rng=shared)
+        policy = cache.set_at(0).policy
+        assert isinstance(policy, RandomPolicy)
+        assert policy._rng is shared
+        assert cache.set_at(1).policy._rng is shared
+
+
+class TestEndToEndDeterminism:
+    @pytest.mark.parametrize("design", ["seesaw", "vipt", "pipt", "vivt"])
+    def test_full_result_dict_identical(self, design):
+        trace = build_trace(get_workload("redis"), length=5000, seed=13)
+        config = SystemConfig(l1_design=design, seed=13)
+        r1 = SystemSimulator(config, trace).run().to_dict()
+        r2 = SystemSimulator(config, trace).run().to_dict()
+        assert r1 == r2
+
+    def test_rebuilt_trace_gives_identical_result(self):
+        runs = []
+        for _ in range(2):
+            trace = build_trace(get_workload("cann"), length=4000, seed=2)
+            result = SystemSimulator(SystemConfig(seed=2), trace).run()
+            runs.append(result.to_dict())
+        assert runs[0] == runs[1]
