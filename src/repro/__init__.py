@@ -41,6 +41,14 @@ from repro.sim.experiment import (
     min_avg_max,
 )
 from repro.workloads.suite import WORKLOADS, build_trace, get_workload
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    SweepReport,
+    load_checkpoint,
+    resilient_sweep,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -74,5 +82,11 @@ __all__ = [
     "WORKLOADS",
     "build_trace",
     "get_workload",
+    "FaultPlan",
+    "FaultSpec",
+    "SweepReport",
+    "load_checkpoint",
+    "resilient_sweep",
+    "save_checkpoint",
     "__version__",
 ]

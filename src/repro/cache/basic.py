@@ -160,6 +160,20 @@ class SetAssociativeCache:
             self._sets[index] = cache_set
         return cache_set
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the eviction hooks.
+
+        Hooks are closures over other live components (the simulator, the
+        coherence fabric, a VIVT synonym filter); whoever registered them
+        re-registers after a snapshot restore (see
+        ``SystemSimulator._wire``).
+        """
+        state = self.__dict__.copy()
+        state["_eviction_hooks"] = []
+        return state
+
     # ---------------------------------------------------------------- hooks
 
     def register_eviction_hook(self, hook: EvictionHook) -> None:

@@ -67,8 +67,20 @@ class VivtL1Cache:
         # virtual line -> physical line (so evictions clean the map).
         self._forward: Dict[int, int] = {}
         # Conflict evictions must clean the synonym filter too.
+        self._wire_store()
+
+    def _wire_store(self) -> None:
+        """Register the internal eviction hook that keeps the synonym
+        filter in sync with the store."""
         self.store.register_eviction_hook(
             lambda vline, dirty: self._drop_mapping(vline))
+
+    def __setstate__(self, state: dict) -> None:
+        # The store drops every eviction hook when pickled; put the
+        # internal synonym-filter hook back (the simulator re-wires its own
+        # external hooks separately after a restore).
+        self.__dict__.update(state)
+        self._wire_store()
 
     @property
     def ways(self) -> int:

@@ -7,13 +7,21 @@
   result counters;
 * ``compare``    — run SEESAW against a baseline on identical traces and
   print runtime/energy improvements;
-* ``sweep``      — the compare, across several workloads;
+* ``sweep``      — the compare, across several workloads, with optional
+  journaling (``--journal``/``--resume``), subprocess isolation
+  (``--isolate``/``--timeout``), and fault injection (``--inject``);
+* ``resume``     — continue an interrupted journaled sweep;
 * ``table3``     — print the paper's Table III latency configurations;
 * ``lint``       — run the simlint static analyser (``repro lint src/``).
 
 Every command accepts ``--seed`` and ``--length`` so results are exactly
 reproducible, and every simulating command accepts ``--sanitize`` to arm
-the runtime invariant sanitizer (see :mod:`repro.devtools.sanitize`).
+the runtime invariant sanitizer (see :mod:`repro.devtools.sanitize`) or
+``--no-sanitize`` to force it off (overriding ``REPRO_SANITIZE``, e.g. to
+let a fault-injection run complete and flag the faults in its report).
+
+Exit codes: 0 success; 1 a sweep completed but some cells failed (or lint
+found issues); 2 usage/configuration errors; 3 the sanitizer tripped.
 """
 
 from __future__ import annotations
@@ -53,9 +61,37 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--length", type=int, default=30_000,
                         help="trace length in references")
     parser.add_argument("--seed", type=int, default=42, help="RNG seed")
-    parser.add_argument("--sanitize", action="store_true",
-                        help="arm the runtime invariant sanitizer "
-                             "(equivalent to REPRO_SANITIZE=1)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime invariant sanitizer "
+                            "(equivalent to REPRO_SANITIZE=1)")
+    group.add_argument("--no-sanitize", action="store_true",
+                       help="force the sanitizer off, overriding "
+                            "REPRO_SANITIZE (fault-injection runs then "
+                            "complete and flag the faults in the report)")
+
+
+def _add_injection_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--inject", metavar="KIND@INDEX", action="append",
+                        default=None,
+                        help="inject a fault at a trace index (repeatable); "
+                             "kinds: tft-false-positive, partition-desync, "
+                             "tlb-shootdown-drop, trace-truncate, "
+                             "energy-skew, stats-skew")
+
+
+def _apply_sanitizer_override(args: argparse.Namespace) -> None:
+    if getattr(args, "no_sanitize", False):
+        from repro.devtools import sanitize
+        sanitize.enable(False)
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    specs = getattr(args, "inject", None)
+    if not specs:
+        return None
+    from repro.resilience.faults import FaultPlan
+    return FaultPlan.parse(specs)
 
 
 def _config_from_args(args: argparse.Namespace,
@@ -96,11 +132,28 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_sanitizer_override(args)
     trace = build_trace(get_workload(args.workload), length=args.length,
                         seed=args.seed)
-    result = simulate(_config_from_args(args), trace)
+    config = _config_from_args(args)
+    plan = _fault_plan_from_args(args)
+    if args.from_checkpoint:
+        from repro.resilience.checkpoint import restore_simulator
+        sim = restore_simulator(args.from_checkpoint, config, trace)
+    else:
+        from repro.sim.system import SystemSimulator
+        sim = SystemSimulator(config, trace)
+    if plan is not None:
+        sim.arm_faults(plan)
+    if args.checkpoint:
+        sim.run_until(len(trace.addresses),
+                      checkpoint_path=args.checkpoint,
+                      checkpoint_interval=args.checkpoint_every)
+    result = sim.finish()
     payload = _result_row(result)
-    payload["config"] = _config_from_args(args).describe()
+    payload["config"] = config.describe()
+    if result.faults_injected:
+        payload["faults_injected"] = ",".join(result.faults_injected)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -111,6 +164,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    _apply_sanitizer_override(args)
     trace = build_trace(get_workload(args.workload), length=args.length,
                         seed=args.seed)
     results = compare_designs(_config_from_args(args), trace,
@@ -131,22 +185,83 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    names = args.workloads or list(WORKLOADS)
+def _print_sweep_report(report, baseline: str, design: str,
+                        title: str) -> int:
+    """Render a SweepReport as the classic improvement table, plus any
+    failed cells; returns the process exit code (1 when cells failed)."""
     rows = []
-    for name in names:
-        trace = build_trace(get_workload(name), length=args.length,
-                            seed=args.seed)
-        results = compare_designs(_config_from_args(args), trace,
-                                  designs=(args.baseline, args.design))
-        rows.append([name,
-                     f"{runtime_improvement(results, args.baseline, args.design):.2f}",
-                     f"{energy_improvement(results, args.baseline, args.design):.2f}"])
-    print(format_table(
-        ["workload", "runtime %", "energy %"], rows,
+    injected = False
+    for workload in report.results:
+        by_design = report.results[workload]
+        if baseline in by_design and design in by_design:
+            row = [workload,
+                   f"{runtime_improvement(by_design, baseline, design):.2f}",
+                   f"{energy_improvement(by_design, baseline, design):.2f}"]
+            faults = sorted(set(by_design[baseline].faults_injected)
+                            | set(by_design[design].faults_injected))
+            if faults:
+                injected = True
+                row.append(",".join(faults))
+            rows.append(row)
+    headers = ["workload", "runtime %", "energy %"]
+    if injected:
+        headers.append("faults")
+        for row in rows:
+            if len(row) < len(headers):
+                row.append("")
+    print(format_table(headers, rows, title=title))
+    for failure in report.failures:
+        print(f"FAILED cell ({failure.workload}, {failure.design}): "
+              f"{failure.error_class}: {failure.message} "
+              f"[{failure.attempts} attempt(s)]")
+    if report.reused:
+        print(f"resumed: {report.reused} cell(s) reused from the journal, "
+              f"{report.executed} executed")
+    return 0 if report.ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_sanitizer_override(args)
+    from repro.resilience.runner import resilient_sweep
+
+    names = args.workloads or list(WORKLOADS)
+    report = resilient_sweep(
+        _config_from_args(args), names,
+        trace_length=args.length, seed=args.seed,
+        designs=(args.baseline, args.design),
+        journal_path=args.journal,
+        resume=args.resume,
+        isolate=args.isolate,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        fault_plan=_fault_plan_from_args(args))
+    return _print_sweep_report(
+        report, args.baseline, args.design,
         title=f"{args.design} vs {args.baseline} "
-              f"({args.size_kb}KB @ {args.freq}GHz, {args.core})"))
-    return 0
+              f"({args.size_kb}KB @ {args.freq}GHz, {args.core})")
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted journaled sweep from its own header."""
+    from repro.resilience.checkpoint import config_from_dict
+    from repro.resilience.runner import SweepJournal, resilient_sweep
+
+    header, _cells = SweepJournal(args.journal).read()
+    config = config_from_dict(header["config"])
+    designs = header["designs"]
+    report = resilient_sweep(
+        config, header["workloads"],
+        trace_length=header["trace_length"], seed=header["seed"],
+        designs=designs,
+        journal_path=args.journal, resume=True,
+        isolate=args.isolate, timeout_s=args.timeout,
+        max_retries=args.retries)
+    baseline = designs[0]
+    design = designs[-1]
+    return _print_sweep_report(
+        report, baseline, design,
+        title=f"resumed sweep: {design} vs {baseline} "
+              f"({config.describe()})")
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -180,7 +295,16 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--json", action="store_true")
+    run.add_argument("--checkpoint", metavar="PATH", default=None,
+                     help="write periodic checkpoints to PATH while running")
+    run.add_argument("--checkpoint-every", metavar="N", type=int,
+                     default=10_000,
+                     help="checkpoint every N references (with --checkpoint)")
+    run.add_argument("--from-checkpoint", metavar="PATH", default=None,
+                     help="restore PATH and continue instead of starting "
+                          "fresh (config/trace must match the checkpoint)")
     _add_machine_arguments(run)
+    _add_injection_argument(run)
 
     compare = sub.add_parser("compare",
                              help="compare a design against a baseline")
@@ -193,7 +317,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workloads", nargs="*",
                        choices=sorted(WORKLOADS), default=None)
     sweep.add_argument("--baseline", choices=DESIGNS, default="vipt")
+    sweep.add_argument("--journal", metavar="PATH", default=None,
+                       help="journal each completed cell to PATH (JSONL) "
+                            "so an interrupted sweep can resume")
+    sweep.add_argument("--resume", action="store_true",
+                       help="with --journal: reuse completed cells from an "
+                            "existing journal instead of starting over")
+    sweep.add_argument("--isolate", action="store_true",
+                       help="run each cell in a watchdogged subprocess")
+    sweep.add_argument("--timeout", metavar="SECONDS", type=float,
+                       default=None,
+                       help="wall-clock budget per cell (implies --isolate)")
+    sweep.add_argument("--retries", metavar="N", type=int, default=1,
+                       help="retries for transient (timeout/crash) failures")
     _add_machine_arguments(sweep)
+    _add_injection_argument(sweep)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted journaled sweep")
+    resume.add_argument("journal", help="journal written by sweep --journal")
+    resume.add_argument("--isolate", action="store_true",
+                        help="run remaining cells in subprocesses")
+    resume.add_argument("--timeout", metavar="SECONDS", type=float,
+                        default=None,
+                        help="wall-clock budget per cell (implies --isolate)")
+    resume.add_argument("--retries", metavar="N", type=int, default=1,
+                        help="retries for transient failures")
 
     lint = sub.add_parser("lint",
                           help="run the simlint static analyser")
@@ -212,19 +361,35 @@ _HANDLERS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "resume": cmd_resume,
     "table3": cmd_table3,
     "lint": cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success; 1 completed with failures (failed sweep cells,
+    lint findings); 2 usage/configuration errors; 3 sanitizer violation.
+    """
+    from repro.devtools.sanitize import SanitizerError
+    from repro.resilience.checkpoint import CheckpointError
+    from repro.resilience.runner import JournalError
+
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited — not an error.
         return 0
+    except SanitizerError as exc:
+        print(f"sanitizer: {exc}", file=sys.stderr)
+        return 3
+    except (ValueError, KeyError, CheckpointError, JournalError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -59,6 +59,14 @@ class Directory:
         self._probe_listeners: List[ProbeListener] = []
         self._sanitize = bool(sanitize) or _sanitize.enabled()
 
+    def __getstate__(self) -> dict:
+        """Drop the probe listeners when pickling: they close over the
+        energy accountant and are re-registered after a snapshot restore
+        (``SystemSimulator._wire``)."""
+        state = self.__dict__.copy()
+        state["_probe_listeners"] = []
+        return state
+
     def register_probe_listener(self, listener: ProbeListener) -> None:
         """Observe every delivered probe (core id, ways probed)."""
         self._probe_listeners.append(listener)

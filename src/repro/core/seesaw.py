@@ -181,6 +181,10 @@ class SeesawL1Cache:
         self.seesaw_stats.promotion_sweeps += 1
         self.seesaw_stats.promotion_sweep_cycles += self.promotion_sweep_cycles
         self.seesaw_stats.lines_swept += swept
+        if self._sanitize:
+            # A promotion rearranges the region's partition mapping; verify
+            # every surviving line still sits where its PA says it must.
+            _sanitize.check_partition_residency(self)
 
     def on_context_switch(self) -> None:
         """The TFT carries no ASIDs, so it flushes on context switches."""
@@ -224,7 +228,11 @@ class SeesawL1Cache:
             self.seesaw_stats.superpage_accesses += 1
         else:
             self.seesaw_stats.base_page_accesses += 1
-            assert not tft_hit, "TFT must never hit for base-page accesses"
+            if tft_hit and self._sanitize:
+                raise _sanitize.SanitizerError(
+                    f"{self.name}: TFT hit for a base-page access at "
+                    f"va={virtual_address:#x} — a corrupted TFT entry "
+                    f"breaks the no-false-positive guarantee (paper §IV-A)")
 
         wp_correct: Optional[bool] = None
         predict_this_access = self.way_predictor is not None and (
@@ -290,6 +298,17 @@ class SeesawL1Cache:
                     self.seesaw_stats.tft_missed_superpage_l1_misses += 1
 
         self.store.stats.ways_probed += ways_probed
+        if hit and self._sanitize \
+                and self.insertion.coherence_probes_single_partition:
+            # Under 4way insertion a hit must land in the PA's partition;
+            # anywhere else means the partition map desynchronized.
+            expected = self.partitioning.partition_of(physical_address)
+            actual = self.partitioning.partition_of_way(way)
+            _sanitize.check(
+                actual == expected,
+                f"{self.name}: hit for pa={physical_address:#x} found in "
+                f"partition {actual} (way {way}) but the physical address "
+                f"names partition {expected} — partition map desynchronized")
         if hit:
             cache_set.policy.touch(way)
             if is_write:

@@ -204,6 +204,29 @@ def check_partition_consistency(partitioning, virtual_address: int,
           f"(va={virtual_address:#x} pa={physical_address:#x})")
 
 
+def check_partition_residency(cache) -> None:
+    """Every valid line sits in the partition its physical address names.
+
+    Under the ``4way`` insertion policy this is the structural invariant
+    behind SEESAW's single-partition coherence probes (paper §IV-C1): a
+    line outside its PA's partition would be invisible to probes and to
+    TFT-hit lookups.  Skipped for insertion policies that allow lines
+    anywhere in the set.
+    """
+    insertion = getattr(cache, "insertion", None)
+    if insertion is None or not insertion.coherence_probes_single_partition:
+        return
+    partitioning = cache.partitioning
+    for set_index, way, line in cache.store.iter_valid_lines():
+        expected = partitioning.partition_of(line.line_address)
+        actual = partitioning.partition_of_way(way)
+        check(actual == expected,
+              f"{cache.name}: line {line.line_address:#x} resident in "
+              f"partition {actual} (set {set_index}, way {way}) but its "
+              f"physical address names partition {expected} — the "
+              f"partition map is desynchronized")
+
+
 # ------------------------------------------------------------ translation
 
 def check_translation(page_table, virtual_address: int,

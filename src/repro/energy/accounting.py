@@ -66,6 +66,21 @@ class EnergyBreakdown:
             "leakage": self.leakage_nj,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "EnergyBreakdown":
+        """Inverse of :meth:`as_dict` (sweep-journal deserialization)."""
+        return cls(
+            l1_cpu_lookup_nj=payload["l1_cpu_lookup"],
+            l1_coherence_lookup_nj=payload["l1_coherence_lookup"],
+            l1_fill_nj=payload["l1_fill"],
+            tlb_nj=payload["tlb"],
+            tft_nj=payload["tft"],
+            l2_nj=payload["l2"],
+            llc_nj=payload["llc"],
+            dram_nj=payload["dram"],
+            leakage_nj=payload["leakage"],
+        )
+
 
 @dataclass
 class EnergyAccountant:

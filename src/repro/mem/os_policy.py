@@ -73,6 +73,18 @@ class MemoryManager:
         self._promotion_hooks: List[PromotionHook] = []
         self.stats = MemoryManagerStats()
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        """Drop both hook lists when pickling: the TLB shootdown and
+        promotion-sweep callbacks close over per-core structures and are
+        re-registered after a snapshot restore
+        (``SystemSimulator._wire``)."""
+        state = self.__dict__.copy()
+        state["_invalidation_hooks"] = []
+        state["_promotion_hooks"] = []
+        return state
+
     # ---------------------------------------------------------------- hooks
 
     def register_invalidation_hook(self, hook: InvalidationHook) -> None:

@@ -1,0 +1,65 @@
+"""Resilient experiment execution.
+
+Long multi-workload sweeps are the unit of work behind every paper figure;
+this package makes them survivable:
+
+* :mod:`repro.resilience.checkpoint` — versioned, checksummed, atomically
+  written on-disk checkpoints of a :class:`~repro.sim.system.SystemSimulator`
+  snapshot, plus the config/trace digests that guard them.
+* :mod:`repro.resilience.runner` — crash-safe sweeps: each completed
+  (workload, design) cell is journaled atomically so an interrupted sweep
+  resumes instead of restarting; cells optionally run in watchdogged
+  subprocesses with bounded retry, and failures degrade gracefully into
+  structured :class:`~repro.resilience.runner.FailedCell` records.
+* :mod:`repro.resilience.faults` — a :class:`~repro.resilience.faults.FaultPlan`
+  that deliberately corrupts simulator state mid-run, proving the runtime
+  sanitizer (:mod:`repro.devtools.sanitize`) detects each fault class.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    load_checkpoint,
+    restore_simulator,
+    save_checkpoint,
+    trace_digest,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjectionError,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.runner import (
+    CellCrash,
+    CellTimeout,
+    FailedCell,
+    JournalError,
+    SweepJournal,
+    SweepReport,
+    resilient_sweep,
+)
+
+__all__ = [
+    "CheckpointError",
+    "config_digest",
+    "config_from_dict",
+    "config_to_dict",
+    "load_checkpoint",
+    "restore_simulator",
+    "save_checkpoint",
+    "trace_digest",
+    "FAULT_KINDS",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
+    "CellCrash",
+    "CellTimeout",
+    "FailedCell",
+    "JournalError",
+    "SweepJournal",
+    "SweepReport",
+    "resilient_sweep",
+]

@@ -1,0 +1,166 @@
+"""On-disk checkpoints for :class:`~repro.sim.system.SystemSimulator`.
+
+File format (documented in README "Resilient runs"):
+
+* line 1 — magic: ``repro-checkpoint v1``;
+* line 2 — a JSON header carrying the snapshot version, the config and
+  trace digests, the next trace index, the workload name, the payload
+  length, and the payload's SHA-256;
+* the rest — the pickled snapshot payload produced by
+  ``SystemSimulator.snapshot()``.
+
+Checkpoints are written atomically (temp file + ``os.replace`` in the
+destination directory) so a crash mid-write never leaves a truncated
+checkpoint in place, and the payload checksum catches torn or corrupted
+files on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: First line of every checkpoint file.
+MAGIC = "repro-checkpoint v1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+# ------------------------------------------------------------------ digests
+
+def config_digest(config) -> str:
+    """SHA-256 over the full configuration repr.
+
+    The dataclass repr covers every field (including enums), so any
+    config difference — not just the fields ``describe()`` shows —
+    changes the digest.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def trace_digest(trace) -> str:
+    """SHA-256 over a trace's name and all four reference columns."""
+    h = hashlib.sha256()
+    h.update(repr(trace.name).encode("utf-8"))
+    for column in (trace.addresses, trace.writes, trace.cores, trace.gaps):
+        h.update(repr(column).encode("utf-8"))
+    return h.hexdigest()
+
+
+# ----------------------------------------------------- config serialization
+
+def config_to_dict(config) -> Dict:
+    """Flatten a :class:`~repro.sim.config.SystemConfig` to JSON-safe types
+    (enums become their values) for sweep-journal headers."""
+    out: Dict = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        out[field.name] = value
+    return out
+
+
+def config_from_dict(payload: Dict):
+    """Inverse of :func:`config_to_dict`."""
+    from repro.core.insertion import InsertionPolicy
+    from repro.core.scheduling import HitSpeculationPolicy
+    from repro.mem.os_policy import THPPolicy
+    from repro.sim.config import SystemConfig
+
+    enum_fields = {"insertion": InsertionPolicy,
+                   "speculation": HitSpeculationPolicy,
+                   "thp_policy": THPPolicy}
+    kwargs = {}
+    for key, value in payload.items():
+        enum_type = enum_fields.get(key)
+        if enum_type is not None and not isinstance(value, enum_type):
+            value = enum_type(value)
+        kwargs[key] = value
+    try:
+        return SystemConfig(**kwargs)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"journal/checkpoint header holds an incompatible config: {exc}"
+        ) from exc
+
+
+# --------------------------------------------------------------- file format
+
+def save_checkpoint(path, sim) -> None:
+    """Atomically write ``sim``'s snapshot to ``path``."""
+    payload = sim.snapshot()
+    header = {
+        "version": sim.SNAPSHOT_VERSION,
+        "config_digest": config_digest(sim.config),
+        "trace_digest": trace_digest(sim.trace),
+        "workload": sim.trace.name,
+        "next_index": sim._next_index,
+        "payload_bytes": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    destination = Path(path)
+    temp = destination.with_name(destination.name + ".tmp")
+    try:
+        with open(temp, "wb") as handle:
+            handle.write((MAGIC + "\n").encode("ascii"))
+            handle.write((json.dumps(header, sort_keys=True) + "\n")
+                         .encode("utf-8"))
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, destination)
+    finally:
+        if temp.exists():
+            temp.unlink()
+
+
+def load_checkpoint(path) -> Tuple[Dict, bytes]:
+    """Read and verify a checkpoint; returns ``(header, payload)``.
+
+    Raises :class:`CheckpointError` on a missing file, bad magic, torn
+    header, or payload checksum mismatch.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise CheckpointError(f"no checkpoint at {source}")
+    with open(source, "rb") as handle:
+        magic = handle.readline().decode("ascii", errors="replace").rstrip("\n")
+        if magic != MAGIC:
+            raise CheckpointError(
+                f"{source} is not a checkpoint (magic {magic!r})")
+        try:
+            header = json.loads(handle.readline().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{source}: unreadable header") from exc
+        payload = handle.read()
+    if len(payload) != header.get("payload_bytes"):
+        raise CheckpointError(
+            f"{source}: payload is {len(payload)} bytes but the header "
+            f"promises {header.get('payload_bytes')} — truncated checkpoint")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointError(
+            f"{source}: payload checksum mismatch — corrupted checkpoint")
+    return header, payload
+
+
+def restore_simulator(path, config, trace):
+    """Build a simulator for ``(config, trace)`` and restore ``path`` into it.
+
+    The snapshot's own digests double-check that the checkpoint actually
+    belongs to this config and trace.
+    """
+    from repro.sim.system import SystemSimulator
+
+    _, payload = load_checkpoint(path)
+    sim = SystemSimulator(config, trace)
+    sim.restore(payload)
+    return sim

@@ -1,0 +1,434 @@
+"""Crash-safe, isolated, resumable sweeps.
+
+:func:`resilient_sweep` is the fault-tolerant engine behind
+``repro.sim.experiment.sweep`` and the ``repro sweep`` CLI:
+
+* **Journaling** — every completed (workload, design) cell is appended to
+  a JSONL journal with an fsync and a per-record checksum, so a sweep
+  killed mid-run (even ``SIGKILL``) resumes from the journal instead of
+  restarting.  Reused cells are rebuilt with
+  ``SimulationResult.from_dict`` and are bit-identical to a fresh run
+  (the round trip is lossless).
+* **Isolation** — cells optionally run in a subprocess with a wall-clock
+  watchdog, so a wedged or crashing cell cannot take the sweep down.
+* **Retry + graceful degradation** — transient failures (timeout, worker
+  crash) are retried with exponential backoff; deterministic errors are
+  recorded as structured :class:`FailedCell` entries and the sweep moves
+  on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.checkpoint import config_digest, config_to_dict
+
+#: Designs a sweep accepts (mirrors SystemConfig.l1_design validation).
+VALID_DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
+
+
+class CellTimeout(TimeoutError):
+    """An isolated cell exceeded its wall-clock budget (transient)."""
+
+
+class CellCrash(RuntimeError):
+    """An isolated cell's worker died without reporting (transient)."""
+
+
+class CellError(RuntimeError):
+    """A cell raised inside the worker; carries the remote error shape."""
+
+    def __init__(self, error_class: str, message: str,
+                 traceback_text: str) -> None:
+        super().__init__(f"{error_class}: {message}")
+        self.error_class = error_class
+        self.message = message
+        self.traceback_text = traceback_text
+
+
+class JournalError(RuntimeError):
+    """A sweep journal is unreadable or inconsistent."""
+
+
+@dataclass
+class FailedCell:
+    """A (workload, design) cell that failed after all retries."""
+
+    workload: str
+    design: str
+    error_class: str
+    message: str
+    traceback: str
+    config_digest: str
+    attempts: int
+
+    def as_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "error_class": self.error_class,
+            "message": self.message,
+            "traceback": self.traceback,
+            "config_digest": self.config_digest,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Everything a resilient sweep produced.
+
+    ``results`` keeps the classic ``sweep()`` shape —
+    ``{workload: {design: SimulationResult}}`` — while ``failures``
+    records cells that degraded instead of completing.
+    """
+
+    results: Dict[str, Dict]
+    failures: List[FailedCell] = field(default_factory=list)
+    #: cells reused from the journal instead of re-simulated.
+    reused: int = 0
+    #: cells actually simulated this invocation.
+    executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (possibly across resumes)."""
+        return not self.failures
+
+
+# ------------------------------------------------------------------ journal
+
+def _record_checksum(record: Dict) -> str:
+    """SHA-256 of the record's canonical JSON, excluding the checksum field."""
+    body = {key: value for key, value in record.items() if key != "checksum"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSONL journal of sweep progress.
+
+    Record types:
+
+    * ``header`` — the sweep's identity: serialized base config plus its
+      digest, workloads, designs, trace length, seed.
+    * ``done`` — a completed cell with its full ``SimulationResult``
+      payload.
+    * ``failed`` — a cell that degraded into a :class:`FailedCell`.
+
+    Every record carries a ``checksum`` over its canonical JSON, and
+    appends are flushed and fsynced, so after a crash the journal is
+    valid up to (at worst) one torn trailing line, which :meth:`read`
+    tolerates and resume re-runs.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def _append(self, record: Dict) -> None:
+        record = dict(record)
+        record["checksum"] = _record_checksum(record)
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_header(self, header_fields: Dict) -> None:
+        """Start a fresh journal (truncating any previous one)."""
+        if self.path.exists():
+            self.path.unlink()
+        self._append({"type": "header", **header_fields})
+
+    def append_done(self, workload: str, design: str, digest: str,
+                    result_payload: Dict) -> None:
+        self._append({"type": "done", "workload": workload, "design": design,
+                      "config_digest": digest, "result": result_payload})
+
+    def append_failed(self, failure: FailedCell) -> None:
+        self._append({"type": "failed", **failure.as_dict()})
+
+    def read(self) -> Tuple[Dict, Dict[Tuple[str, str], Dict]]:
+        """Return ``(header, {(workload, design): last record})``.
+
+        A corrupt or checksum-failing *trailing* line is treated as torn
+        by the crash and skipped; corruption anywhere else means the file
+        is not a journal we can trust and raises :class:`JournalError`.
+        Later records for a cell supersede earlier ones (a failed cell
+        re-run on resume appends a fresh record rather than rewriting).
+        """
+        if not self.path.exists():
+            raise JournalError(f"no sweep journal at {self.path}")
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        records: List[Dict] = []
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                good = (isinstance(record, dict)
+                        and record.get("checksum") == _record_checksum(record))
+            except json.JSONDecodeError:
+                good = False
+            if not good:
+                if number == len(lines) - 1:
+                    break  # torn trailing append from a crash: resume re-runs it
+                raise JournalError(
+                    f"{self.path}: corrupt record at line {number + 1} "
+                    f"(mid-file corruption, not a torn append) — delete the "
+                    f"journal to start the sweep over")
+            records.append(record)
+        if not records or records[0].get("type") != "header":
+            raise JournalError(
+                f"{self.path}: missing journal header — delete the journal "
+                f"to start the sweep over")
+        header = records[0]
+        cells: Dict[Tuple[str, str], Dict] = {}
+        for record in records[1:]:
+            if record.get("type") in ("done", "failed"):
+                cells[(record["workload"], record["design"])] = record
+        return header, cells
+
+
+# ------------------------------------------------------------ cell execution
+
+def _run_cell(config, workload: str, trace_length: int, seed: int,
+              fault_plan=None):
+    """Simulate one (workload, design) cell inline and return its result."""
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.suite import build_trace, get_workload
+
+    trace = build_trace(get_workload(workload), trace_length, seed=seed)
+    sim = SystemSimulator(config, trace)
+    if fault_plan is not None:
+        sim.arm_faults(fault_plan)
+    return sim.run()
+
+
+def _cell_worker(connection, config, workload: str, trace_length: int,
+                 seed: int, fault_plan) -> None:
+    """Subprocess entry point: run a cell, ship the outcome over a pipe."""
+    try:
+        result = _run_cell(config, workload, trace_length, seed, fault_plan)
+        connection.send(("ok", result.to_dict()))
+    except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
+        connection.send(("error", type(exc).__name__, str(exc),
+                         traceback.format_exc()))
+    finally:
+        connection.close()
+
+
+def _run_cell_isolated(config, workload: str, trace_length: int, seed: int,
+                       fault_plan, timeout_s: Optional[float]):
+    """Run a cell in a watchdogged subprocess.
+
+    Raises :class:`CellTimeout` when the wall clock expires,
+    :class:`CellCrash` when the worker dies silently (segfault, OOM kill),
+    and :class:`CellError` when the worker reports an exception.
+    """
+    from repro.sim.stats import SimulationResult
+
+    method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+              else "spawn")
+    context = multiprocessing.get_context(method)
+    receiver, sender = context.Pipe(duplex=False)
+    worker = context.Process(
+        target=_cell_worker,
+        args=(sender, config, workload, trace_length, seed, fault_plan),
+        daemon=True)
+    worker.start()
+    sender.close()  # parent keeps only the read end
+    try:
+        if not receiver.poll(timeout_s):
+            raise CellTimeout(
+                f"cell ({workload}, {config.l1_design}) exceeded "
+                f"{timeout_s:g}s wall clock")
+        try:
+            outcome = receiver.recv()
+        except EOFError:
+            raise CellCrash(
+                f"cell ({workload}, {config.l1_design}) worker died "
+                f"without reporting (exit code {worker.exitcode})") from None
+    finally:
+        receiver.close()
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(2)
+        if worker.is_alive():
+            worker.kill()
+            worker.join(2)
+    if outcome[0] == "ok":
+        return SimulationResult.from_dict(outcome[1])
+    _, error_class, message, traceback_text = outcome
+    raise CellError(error_class, message, traceback_text)
+
+
+def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
+                          fault_plan, isolate: bool,
+                          timeout_s: Optional[float], max_retries: int,
+                          retry_backoff_s: float, fail_fast: bool):
+    """Run one cell, retrying transient failures.
+
+    Returns ``(result, None, attempts)`` on success, or
+    ``(None, FailedCell, attempts)`` after the retry budget is spent or a
+    deterministic error occurs (no point re-running those).  With
+    ``fail_fast`` the error propagates instead of degrading (the classic
+    ``sweep()`` contract when no journal is in play).
+    """
+    digest = config_digest(config)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if isolate or timeout_s is not None:
+                result = _run_cell_isolated(config, workload, trace_length,
+                                            seed, fault_plan, timeout_s)
+            else:
+                result = _run_cell(config, workload, trace_length, seed,
+                                   fault_plan)
+            return result, None, attempt
+        except (CellTimeout, CellCrash) as exc:
+            if attempt <= max_retries:
+                time.sleep(retry_backoff_s * 2 ** (attempt - 1))
+                continue
+            if fail_fast:
+                raise
+            failure = FailedCell(
+                workload=workload, design=config.l1_design,
+                error_class=type(exc).__name__, message=str(exc),
+                traceback="", config_digest=digest, attempts=attempt)
+            return None, failure, attempt
+        except CellError as exc:
+            if fail_fast:
+                raise
+            failure = FailedCell(
+                workload=workload, design=config.l1_design,
+                error_class=exc.error_class, message=exc.message,
+                traceback=exc.traceback_text, config_digest=digest,
+                attempts=attempt)
+            return None, failure, attempt
+        except Exception as exc:  # noqa: BLE001 - degrade, don't die
+            if fail_fast:
+                raise
+            failure = FailedCell(
+                workload=workload, design=config.l1_design,
+                error_class=type(exc).__name__, message=str(exc),
+                traceback=traceback.format_exc(), config_digest=digest,
+                attempts=attempt)
+            return None, failure, attempt
+
+
+# ------------------------------------------------------------------- sweep
+
+def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
+                    seed: int = 42, designs=("vipt", "seesaw"),
+                    mutate=None, journal_path=None, resume: bool = True,
+                    isolate: bool = False, timeout_s: Optional[float] = None,
+                    max_retries: int = 1, retry_backoff_s: float = 0.25,
+                    fault_plan=None, fail_fast: bool = False) -> SweepReport:
+    """Run a (workload x design) sweep that survives crashes and bad cells.
+
+    Args:
+        base_config: the machine every cell derives from via
+            ``with_design``.
+        workloads: workload names (see ``repro.workloads.suite``).
+        trace_length / seed: forwarded to ``build_trace``.
+        designs: L1 designs to sweep; duplicates are collapsed, order kept.
+        mutate: optional ``f(config, workload) -> config`` hook applied
+            per cell (kept from the classic ``sweep``).
+        journal_path: JSONL journal location; None disables journaling.
+        resume: with a journal, reuse completed cells whose config digest
+            matches instead of re-simulating them.  ``resume=False``
+            truncates any existing journal and starts over.
+        isolate: run each cell in a subprocess (implied by ``timeout_s``).
+        timeout_s: wall-clock budget per cell attempt.
+        max_retries: extra attempts for transient (timeout/crash)
+            failures; deterministic errors never retry.
+        retry_backoff_s: base of the exponential backoff between retries.
+        fault_plan: optional :class:`~repro.resilience.faults.FaultPlan`
+            armed on every cell (fault-injection campaigns).
+        fail_fast: propagate cell errors instead of degrading them into
+            :class:`FailedCell` records (classic ``sweep()`` behaviour).
+
+    Returns:
+        a :class:`SweepReport`; ``report.results`` matches the classic
+        ``sweep()`` return shape.
+    """
+    from repro.sim.stats import SimulationResult
+    from repro.workloads.suite import get_workload
+
+    workloads = list(workloads)
+    designs = list(designs)
+    for design in designs:
+        if design not in VALID_DESIGNS:
+            raise ValueError(
+                f"unknown design {design!r}; valid designs: "
+                f"{', '.join(VALID_DESIGNS)}")
+    for workload in workloads:
+        get_workload(workload)  # typo fails up front, naming valid choices
+
+    journal = SweepJournal(journal_path) if journal_path is not None else None
+    done: Dict[Tuple[str, str], Dict] = {}
+    if journal is not None:
+        if resume and journal.exists():
+            _, done = journal.read()
+        else:
+            journal.write_header({
+                "config": config_to_dict(base_config),
+                "config_digest": config_digest(base_config),
+                "workloads": workloads,
+                "designs": designs,
+                "trace_length": trace_length,
+                "seed": seed,
+            })
+
+    cells = list(dict.fromkeys(
+        (workload, design) for workload in workloads for design in designs))
+    results: Dict[str, Dict] = {
+        workload: {} for workload in dict.fromkeys(workloads)}
+    failures: List[FailedCell] = []
+    reused = 0
+    executed = 0
+    # mutate is called once per workload (the classic sweep() contract),
+    # before the design is applied.
+    per_workload_config: Dict[str, object] = {}
+    for workload, design in cells:
+        if workload not in per_workload_config:
+            per_workload_config[workload] = (
+                mutate(base_config, workload) if mutate else base_config)
+        config = per_workload_config[workload].with_design(design)
+        digest = config_digest(config)
+        record = done.get((workload, design))
+        if (record is not None and record.get("type") == "done"
+                and record.get("config_digest") == digest):
+            results[workload][design] = SimulationResult.from_dict(
+                record["result"])
+            reused += 1
+            continue
+        result, failure, _attempts = _execute_with_retries(
+            config, workload, trace_length, seed, fault_plan, isolate,
+            timeout_s, max_retries, retry_backoff_s, fail_fast)
+        executed += 1
+        if result is not None:
+            results[workload][design] = result
+            if journal is not None:
+                journal.append_done(workload, design, digest,
+                                    result.to_dict())
+        else:
+            failures.append(failure)
+            if journal is not None:
+                journal.append_failed(failure)
+    return SweepReport(results=results, failures=failures,
+                       reused=reused, executed=executed)

@@ -127,6 +127,14 @@ class SystemConfig:
             raise ValueError(f"unknown coherence fabric {self.coherence!r}")
         if self.num_cores < 1:
             raise ValueError("num_cores must be at least 1")
+        for name in ("memhog_fraction", "aging_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1), got {value!r} — it is the "
+                    f"fraction of physical memory pinned before the "
+                    f"workload runs, and pinning everything leaves no "
+                    f"memory to map")
 
     # -------------------------------------------------------------- derived
 

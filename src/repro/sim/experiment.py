@@ -18,6 +18,22 @@ from repro.workloads.suite import WorkloadSpec, build_trace, get_workload
 from repro.workloads.trace import MemoryTrace
 
 
+#: L1 designs the experiment drivers accept.
+VALID_DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
+
+
+def _require_known_designs(designs: Iterable[str]) -> List[str]:
+    """Validate design names up front, so a typo fails with the list of
+    valid choices instead of a bare KeyError deep in construction."""
+    designs = list(designs)
+    for design in designs:
+        if design not in VALID_DESIGNS:
+            raise ValueError(
+                f"unknown design {design!r}; valid designs: "
+                f"{', '.join(VALID_DESIGNS)}")
+    return designs
+
+
 def run_workload(config: SystemConfig, workload: str,
                  trace_length: int = 60_000,
                  seed: int = 42) -> SimulationResult:
@@ -32,7 +48,7 @@ def compare_designs(config: SystemConfig, trace: MemoryTrace,
                     ) -> Dict[str, SimulationResult]:
     """Run ``trace`` under each design with otherwise identical config."""
     return {design: simulate(config.with_design(design), trace)
-            for design in designs}
+            for design in _require_known_designs(designs)}
 
 
 def improvement_percent(baseline: float, improved: float) -> float:
@@ -43,20 +59,31 @@ def improvement_percent(baseline: float, improved: float) -> float:
     return 100.0 * (baseline - improved) / baseline
 
 
+def _require_in_results(results: Dict[str, SimulationResult],
+                        role: str, name: str) -> SimulationResult:
+    if name not in results:
+        raise ValueError(
+            f"{role} design {name!r} not in results; available designs: "
+            f"{', '.join(sorted(results)) or '(none)'}")
+    return results[name]
+
+
 def runtime_improvement(results: Dict[str, SimulationResult],
                         baseline: str = "vipt",
                         candidate: str = "seesaw") -> float:
     """Percent runtime improvement of ``candidate`` over ``baseline``."""
-    return improvement_percent(results[baseline].runtime_cycles,
-                               results[candidate].runtime_cycles)
+    return improvement_percent(
+        _require_in_results(results, "baseline", baseline).runtime_cycles,
+        _require_in_results(results, "candidate", candidate).runtime_cycles)
 
 
 def energy_improvement(results: Dict[str, SimulationResult],
                        baseline: str = "vipt",
                        candidate: str = "seesaw") -> float:
     """Percent memory-hierarchy energy improvement."""
-    return improvement_percent(results[baseline].total_energy_nj,
-                               results[candidate].total_energy_nj)
+    return improvement_percent(
+        _require_in_results(results, "baseline", baseline).total_energy_nj,
+        _require_in_results(results, "candidate", candidate).total_energy_nj)
 
 
 def sweep(base_config: SystemConfig,
@@ -65,19 +92,27 @@ def sweep(base_config: SystemConfig,
           seed: int = 42,
           designs: Sequence[str] = ("vipt", "seesaw"),
           mutate: Optional[Callable[[SystemConfig, str], SystemConfig]] = None,
+          journal_path=None, resume: bool = True,
           ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run several workloads under several designs.
 
     Returns ``{workload: {design: result}}``.  ``mutate`` may adjust the
-    config per workload (e.g. to scale memory with footprint).
+    config per workload (e.g. to scale memory with footprint).  With a
+    ``journal_path`` every completed cell is journaled and an interrupted
+    sweep resumes from the journal (see :mod:`repro.resilience.runner`;
+    the full knob set — isolation, timeouts, retries, fault injection —
+    lives on :func:`repro.resilience.resilient_sweep`).
     """
-    out: Dict[str, Dict[str, SimulationResult]] = {}
-    for name in workloads:
-        config = mutate(base_config, name) if mutate else base_config
-        trace = build_trace(get_workload(name), length=trace_length,
-                            seed=seed)
-        out[name] = compare_designs(config, trace, designs=designs)
-    return out
+    from repro.resilience.runner import resilient_sweep
+
+    _require_known_designs(designs)
+    report = resilient_sweep(base_config, workloads,
+                             trace_length=trace_length, seed=seed,
+                             designs=designs, mutate=mutate,
+                             journal_path=journal_path, resume=resume,
+                             max_retries=0,
+                             fail_fast=journal_path is None)
+    return report.results
 
 
 def summarize_improvements(

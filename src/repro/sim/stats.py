@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.energy.accounting import EnergyBreakdown
 
@@ -50,6 +50,9 @@ class SimulationResult:
     coherence_probes: int = 0
     coherence_ways_probed: int = 0
     way_prediction_accuracy: Optional[float] = None
+    #: fault-injection kinds applied during the run (resilience harness);
+    #: empty for normal runs.
+    faults_injected: List[str] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -95,15 +98,60 @@ class SimulationResult:
             "superpage_accesses": self.superpage_accesses,
             "tft_hit_rate": self.tft_hit_rate,
             "tft_missed_superpage_fraction": self.tft_missed_superpage_fraction,
+            "tft_missed_superpage_l1_hits": self.tft_missed_superpage_l1_hits,
+            "tft_missed_superpage_l1_misses":
+                self.tft_missed_superpage_l1_misses,
             "fast_hits": self.fast_hits,
             "squashes": self.squashes,
             "coherence_probes": self.coherence_probes,
             "coherence_ways_probed": self.coherence_ways_probed,
             "way_prediction_accuracy": self.way_prediction_accuracy,
+            "faults_injected": list(self.faults_injected),
             "energy_nj": self.energy.as_dict(),
             "energy_total_nj": self.total_energy_nj,
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The round trip is lossless: every dataclass field is serialized, so
+        ``SimulationResult.from_dict(r.to_dict()) == r``.  This is what lets
+        a resumed sweep reuse journaled cells and still produce results
+        bit-identical to an uninterrupted run (JSON preserves float values
+        exactly via ``repr`` round-tripping).
+        """
+        return cls(
+            config_description=payload["config"],
+            workload=payload["workload"],
+            runtime_cycles=payload["runtime_cycles"],
+            instructions=payload["instructions"],
+            energy=EnergyBreakdown.from_dict(payload["energy_nj"]),
+            l1_hits=payload["l1_hits"],
+            l1_misses=payload["l1_misses"],
+            l1_ways_probed=payload["l1_ways_probed"],
+            superpage_reference_fraction=
+                payload["superpage_reference_fraction"],
+            footprint_superpage_fraction=
+                payload["footprint_superpage_fraction"],
+            memory_references=payload["memory_references"],
+            tft_hit_rate=payload["tft_hit_rate"],
+            tft_missed_superpage_fraction=
+                payload["tft_missed_superpage_fraction"],
+            tft_missed_superpage_l1_hits=
+                payload["tft_missed_superpage_l1_hits"],
+            tft_missed_superpage_l1_misses=
+                payload["tft_missed_superpage_l1_misses"],
+            superpage_accesses=payload["superpage_accesses"],
+            fast_hits=payload["fast_hits"],
+            squashes=payload["squashes"],
+            coherence_probes=payload["coherence_probes"],
+            coherence_ways_probed=payload["coherence_ways_probed"],
+            way_prediction_accuracy=payload["way_prediction_accuracy"],
+            faults_injected=list(payload.get("faults_injected", ())),
+            extra=dict(payload["extra"]),
+        )
 
     def to_json(self, indent: int = 2) -> str:
         """JSON-encode :meth:`to_dict`."""

@@ -74,12 +74,24 @@ class SystemSimulator:
             l1_size_bytes=config.l1_size_bytes,
             l1_ways=(config.pipt_ways if config.l1_design == "pipt"
                      else config.l1_ways))
-        self._register_hooks()
+        self._wire()
         self._recent_lines: List[int] = []
         self._superpage_references = 0
+        self._measured_references = 0
         self._region_bases = sorted({a & ~((1 << 21) - 1)
                                      for a in trace.addresses})
         self._churn_cursor = 0
+        # Interruptible-run state (checkpoint/resume support): the next
+        # trace index to process, the warmup boundary, and whether the
+        # one-time prewarm already happened.
+        self._next_index = 0
+        self._warmup_end: Optional[int] = None
+        self._expected_references: Optional[int] = None
+        self._prewarmed = False
+        # Fault-injection harness (repro.resilience.faults).
+        self._fault_plan = None
+        self._fault_pending: List = []
+        self._faults_injected: List[str] = []
 
     # ----------------------------------------------------------------- build
 
@@ -133,13 +145,6 @@ class SystemSimulator:
                     slow_cycles=timing.base_hit_cycles,
                     policy=config.speculation)
             self.schedulers.append(scheduler)
-            if isinstance(l1, SeesawL1Cache):
-                l1.attach_to_tlb_hierarchy(tlb)
-                l1.attach_to_memory_manager(self.manager)
-        # TLB shootdowns reach every core's TLBs.
-        for tlb in self.tlbs:
-            self.manager.register_invalidation_hook(
-                lambda vb, ps, _t=tlb: _t.invalidate(vb, ps))
 
     def _make_l1(self, core_id: int, timing):
         config = self.config
@@ -200,12 +205,30 @@ class SystemSimulator:
             self.fabric = SnoopyBus(self.l1s)
         else:
             self.fabric = None
+
+    def _wire(self) -> None:
+        """(Re-)register every cross-component hook.
+
+        All hooks are closures over live components, so pickled components
+        deliberately drop them (see the ``__getstate__`` implementations on
+        the stores, TLB hierarchies, memory manager, and coherence fabric).
+        Both ``__init__`` and :meth:`restore` end here, which guarantees a
+        restored simulator is wired exactly like a freshly built one — the
+        registration order below matches the original construction order,
+        so hook firing order (and therefore behaviour) is identical.
+        """
+        for tlb, l1 in zip(self.tlbs, self.l1s):
+            if isinstance(l1, SeesawL1Cache):
+                l1.attach_to_tlb_hierarchy(tlb)
+                l1.attach_to_memory_manager(self.manager)
+        # TLB shootdowns reach every core's TLBs.
+        for tlb in self.tlbs:
+            self.manager.register_invalidation_hook(
+                lambda vb, ps, _t=tlb: _t.invalidate(vb, ps))
         if self.fabric is not None:
             self.fabric.register_probe_listener(
                 lambda core, ways: self.energy.record_l1_lookup(
                     ways, coherence=True))
-
-    def _register_hooks(self) -> None:
         for core_id, l1 in enumerate(self.l1s):
             l1.store.register_eviction_hook(
                 lambda line, dirty, _c=core_id: self._on_l1_eviction(
@@ -308,13 +331,81 @@ class SystemSimulator:
         for line in seen_lines:
             llc.access(page_table.translate(line << 6))
 
-    def run(self, warmup_fraction: float = 0.25) -> SimulationResult:
+    def arm_faults(self, plan) -> None:
+        """Attach a :class:`~repro.resilience.faults.FaultPlan`.
+
+        The plan's injectors run between references; faults that cannot
+        apply yet (e.g. the next reference is not base-page-backed) stay
+        pending until a suitable reference comes up.  Plans are stateless —
+        per-run pending state lives on the simulator.
+        """
+        self._fault_plan = plan
+        self._fault_pending = []
+
+    def _begin(self, warmup_fraction: float) -> None:
+        """One-time run setup: fix the warmup boundary and prewarm.
+
+        Idempotent; a restored simulator skips it (the snapshot carries the
+        boundary and the prewarmed state).
+        """
+        if self._prewarmed:
+            return
+        self._warmup_end = int(len(self.trace) * warmup_fraction)
+        # Fixed before the loop so trace truncation (a fault class) is
+        # detectable as a shortfall against this expectation.
+        self._expected_references = len(self.trace) - self._warmup_end
+        self._measured_references = 0
+        self._prewarm()
+        self._prewarmed = True
+
+    def run(self, warmup_fraction: float = 0.25,
+            checkpoint_path=None,
+            checkpoint_interval: Optional[int] = None) -> SimulationResult:
         """Simulate the whole trace and return the result.
 
         The first ``warmup_fraction`` of references warm the simulated state
         (caches, TLBs, TFT, page tables, directory); statistics are then
         reset and only the remainder is measured.
+
+        Args:
+            warmup_fraction: warmup portion of the trace, in ``[0, 1)``.
+            checkpoint_path: when given, a versioned checksummed checkpoint
+                is written atomically to this path every
+                ``checkpoint_interval`` references (see
+                :mod:`repro.resilience.checkpoint`).
+            checkpoint_interval: references between checkpoints (default
+                10_000 when ``checkpoint_path`` is set).
         """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
+                " — 1.0 or more would leave no measured window")
+        self._begin(warmup_fraction)
+        self.run_until(len(self.trace), checkpoint_path=checkpoint_path,
+                       checkpoint_interval=checkpoint_interval)
+        return self._collect()
+
+    def finish(self) -> SimulationResult:
+        """Run any remaining references and collect the result.
+
+        The complement of :meth:`run_until` for checkpoint/resume flows:
+        ``restore()`` then ``finish()`` completes an interrupted run.
+        """
+        if not self._prewarmed:
+            self._begin(0.25)
+        self.run_until(len(self.trace))
+        return self._collect()
+
+    def run_until(self, stop: int, checkpoint_path=None,
+                  checkpoint_interval: Optional[int] = None) -> int:
+        """Advance the simulation up to (not including) trace index ``stop``.
+
+        Returns the next unprocessed index.  Safe to call repeatedly; used
+        by checkpoint tests and by :meth:`run`.  A fresh simulator begins
+        with the default warmup fraction.
+        """
+        if not self._prewarmed:
+            self._begin(0.25)
         config = self.config
         is_seesaw = config.l1_design == "seesaw" or (
             config.l1_design == "vipt" and config.way_prediction)
@@ -325,12 +416,27 @@ class SystemSimulator:
             # switch; vivt_flush_interval models the OS scheduling quantum
             # even when no explicit context-switch interval is configured.
             cs_interval = config.vivt_flush_interval
-        warmup_end = int(len(self.trace) * warmup_fraction)
-        self._measured_references = 0
-        self._prewarm()
-        for index, (va, is_write, core_id, gap) in enumerate(
-                zip(self.trace.addresses, self.trace.writes,
-                    self.trace.cores, self.trace.gaps)):
+        warmup_end = self._warmup_end
+        addresses = self.trace.addresses
+        writes = self.trace.writes
+        cores = self.trace.cores
+        gaps = self.trace.gaps
+        if checkpoint_path is not None and checkpoint_interval is None:
+            checkpoint_interval = 10_000
+        index = self._next_index
+        stop = min(stop, len(addresses))
+        while index < stop:
+            if self._fault_plan is not None:
+                applied = self._fault_plan.apply(self, index)
+                if applied:
+                    self._faults_injected.extend(applied)
+                # A fault may have truncated the trace in place.
+                if index >= len(addresses):
+                    break
+            va = addresses[index]
+            is_write = writes[index]
+            core_id = cores[index]
+            gap = gaps[index]
             if index == warmup_end and index > 0:
                 self.reset_measurements()
             self._measured_references += 1
@@ -414,7 +520,123 @@ class SystemSimulator:
                     and index % config.promote_interval
                     == config.promote_interval - 1):
                 self._churn_promote()
-        return self._collect()
+            index += 1
+            if (checkpoint_interval
+                    and index % checkpoint_interval == 0
+                    and checkpoint_path is not None):
+                self._next_index = index
+                from repro.resilience.checkpoint import save_checkpoint
+                save_checkpoint(checkpoint_path, self)
+        self._next_index = index
+        return index
+
+    # ---------------------------------------------------- snapshot / restore
+
+    #: bump when the snapshot payload layout changes.
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete mutable simulation state.
+
+        The payload captures every component that evolves during a run —
+        physical memory, OS state, page tables, TLBs, L1s, cores,
+        schedulers, coherence fabric, LLC/DRAM, energy, RNG stream, and the
+        run-loop counters — in a *single* pickle so shared references (the
+        page table seen by both the manager and the page walkers, the L1
+        list shared with the fabric) stay shared after a restore.  Hook
+        closures are dropped by the components' ``__getstate__`` and
+        re-created by :meth:`restore` via ``_wire``.
+        """
+        import pickle
+
+        from repro.resilience.checkpoint import config_digest, trace_digest
+        state = {
+            "version": self.SNAPSHOT_VERSION,
+            "config_digest": config_digest(self.config),
+            "trace_digest": trace_digest(self.trace),
+            "components": {
+                "physical": self.physical,
+                "memhog": self.memhog,
+                "manager": self.manager,
+                "tlbs": self.tlbs,
+                "l1s": self.l1s,
+                "cores": self.cores,
+                "schedulers": self.schedulers,
+                "fabric": self.fabric,
+                "hierarchy": self.hierarchy,
+                "energy": self.energy,
+            },
+            "rng": self._rng,
+            "loop": {
+                "next_index": self._next_index,
+                "warmup_end": self._warmup_end,
+                "expected_references": self._expected_references,
+                "measured_references": self._measured_references,
+                "superpage_references": self._superpage_references,
+                "recent_lines": self._recent_lines,
+                "region_bases": self._region_bases,
+                "churn_cursor": self._churn_cursor,
+                "prewarmed": self._prewarmed,
+                "faults_injected": self._faults_injected,
+            },
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Replace this simulator's state with a :meth:`snapshot` payload.
+
+        The simulator must have been built from the same configuration and
+        trace the snapshot was taken from (verified by digest); continuing
+        with :meth:`run_until` / :meth:`finish` is then bit-identical to a
+        never-interrupted run.  Fault plans are not part of a snapshot —
+        re-arm with :meth:`arm_faults` if needed.
+        """
+        import pickle
+
+        from repro.resilience.checkpoint import (CheckpointError,
+                                                 config_digest, trace_digest)
+        state = pickle.loads(blob)
+        version = state.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"snapshot version {version!r} does not match this "
+                f"simulator's version {self.SNAPSHOT_VERSION}")
+        if state["config_digest"] != config_digest(self.config):
+            raise CheckpointError(
+                "snapshot was taken under a different configuration "
+                f"({state['config_digest'][:12]}… != "
+                f"{config_digest(self.config)[:12]}…)")
+        if state["trace_digest"] != trace_digest(self.trace):
+            raise CheckpointError(
+                "snapshot was taken against a different trace "
+                f"({state['trace_digest'][:12]}… != "
+                f"{trace_digest(self.trace)[:12]}…)")
+        components = state["components"]
+        self.physical = components["physical"]
+        self.memhog = components["memhog"]
+        self.manager = components["manager"]
+        self.tlbs = components["tlbs"]
+        self.l1s = components["l1s"]
+        self.cores = components["cores"]
+        self.schedulers = components["schedulers"]
+        self.fabric = components["fabric"]
+        self.hierarchy = components["hierarchy"]
+        self.energy = components["energy"]
+        self._rng = state["rng"]
+        loop = state["loop"]
+        self._next_index = loop["next_index"]
+        self._warmup_end = loop["warmup_end"]
+        self._expected_references = loop["expected_references"]
+        self._measured_references = loop["measured_references"]
+        self._superpage_references = loop["superpage_references"]
+        self._recent_lines = loop["recent_lines"]
+        self._region_bases = loop["region_bases"]
+        self._churn_cursor = loop["churn_cursor"]
+        self._prewarmed = loop["prewarmed"]
+        self._faults_injected = loop["faults_injected"]
+        self._fault_plan = None
+        self._fault_pending = []
+        self._wire()
 
     # ------------------------------------------------------------ page churn
 
@@ -538,7 +760,18 @@ class SystemSimulator:
                     correct / predictions if predictions else 0.0)
         result.squashes = sum(s.stats.squashes for s in self.schedulers
                               if s is not None)
+        result.faults_injected = list(self._faults_injected)
         if self._sanitize:
+            for l1 in self.l1s:
+                if hasattr(l1, "partitioning"):
+                    sanitize.check_partition_residency(l1)
+            if self._expected_references is not None:
+                sanitize.check(
+                    self._measured_references == self._expected_references,
+                    f"measured window covered {self._measured_references} "
+                    f"references but the trace promised "
+                    f"{self._expected_references} — the trace was truncated "
+                    f"or references were dropped mid-run")
             sanitize.validate_result(result)
         return result
 

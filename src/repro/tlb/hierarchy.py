@@ -51,6 +51,16 @@ class TLBHierarchy:
         self._fill_hooks: List[FillHook] = []
         self._sanitize = bool(sanitize) or _sanitize.enabled()
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        """Drop the fill hooks when pickling: they are closures over other
+        components (the SEESAW TFT) and are re-registered after a snapshot
+        restore by ``SystemSimulator._wire``."""
+        state = self.__dict__.copy()
+        state["_fill_hooks"] = []
+        return state
+
     # ---------------------------------------------------------------- hooks
 
     def register_fill_hook(self, hook: FillHook) -> None:

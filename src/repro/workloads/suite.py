@@ -179,9 +179,14 @@ def get_workload(name: str) -> WorkloadSpec:
     """Look up a spec by name.
 
     Raises:
-        KeyError: for unknown workload names.
+        KeyError: for unknown workload names, listing the valid ones.
     """
-    return WORKLOADS[name]
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; valid workloads: "
+            f"{', '.join(sorted(WORKLOADS))}") from None
 
 
 def _make_generator(spec: WorkloadSpec, num_lines: int, seed: int,
