@@ -12,26 +12,50 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.mem.address import CACHE_LINE_SIZE
-from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy, make_policy
 
 #: log2 of the cache line size; 64B lines -> 6 byte-offset bits.
 LINE_OFFSET_BITS = CACHE_LINE_SIZE.bit_length() - 1
 
 
-@dataclass
 class CacheLine:
-    """One cache line's bookkeeping (no data payload is modeled)."""
+    """One cache line's bookkeeping (no data payload is modeled).
 
-    tag: int = 0
-    valid: bool = False
-    dirty: bool = False
-    #: coherence state, one of "M","O","E","S","I" (used by L1s under MOESI)
-    state: str = "I"
-    #: physical line address (tag + index recombined), kept for write-back
-    #: and coherence bookkeeping.
-    line_address: int = 0
-    #: for SEESAW: whether the fill came from a superpage mapping.
-    from_superpage: bool = False
+    Slotted plain class: lines are probed, filled and state-flipped on
+    every reference, so attribute access cost dominates.
+    """
+
+    __slots__ = ("tag", "valid", "dirty", "state", "line_address",
+                 "from_superpage")
+
+    def __init__(self, tag: int = 0, valid: bool = False,
+                 dirty: bool = False, state: str = "I",
+                 line_address: int = 0,
+                 from_superpage: bool = False) -> None:
+        self.tag = tag
+        self.valid = valid
+        self.dirty = dirty
+        #: coherence state, one of "M","O","E","S","I" (L1s under MOESI)
+        self.state = state
+        #: physical line address (tag + index recombined), kept for
+        #: write-back and coherence bookkeeping.
+        self.line_address = line_address
+        #: for SEESAW: whether the fill came from a superpage mapping.
+        self.from_superpage = from_superpage
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(tag={self.tag!r}, valid={self.valid!r}, "
+                f"dirty={self.dirty!r}, state={self.state!r}, "
+                f"line_address={self.line_address!r}, "
+                f"from_superpage={self.from_superpage!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheLine):
+            return NotImplemented
+        return (self.tag == other.tag and self.valid == other.valid
+                and self.dirty == other.dirty and self.state == other.state
+                and self.line_address == other.line_address
+                and self.from_superpage == other.from_superpage)
 
     def reset(self) -> None:
         """Return the line to the invalid state."""
@@ -49,7 +73,23 @@ class CacheSet:
     __slots__ = ("lines", "policy")
 
     def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
-        self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
+        # Sets are created lazily on first touch, which puts this
+        # constructor on the miss path of every cold set; building the
+        # lines via __new__ + direct slot stores skips ``ways`` __init__
+        # calls (an LLC prewarm creates thousands of sets).
+        new = CacheLine.__new__
+        lines = []
+        append = lines.append
+        for _ in range(ways):
+            line = new(CacheLine)
+            line.tag = 0
+            line.valid = False
+            line.dirty = False
+            line.state = "I"
+            line.line_address = 0
+            line.from_superpage = False
+            append(line)
+        self.lines: List[CacheLine] = lines
         self.policy = policy
 
     def find(self, tag: int, ways: Optional[Sequence[int]] = None
@@ -140,6 +180,11 @@ class SetAssociativeCache:
             raise ValueError("number of sets must be a power of two")
         self.offset_bits = line_size.bit_length() - 1
         self.index_bits = self.num_sets.bit_length() - 1
+        # Hot-path constants: probe() runs per reference, so the index
+        # mask / tag shift are folded once here instead of per call.
+        self._index_mask = self.num_sets - 1
+        self._tag_shift = self.offset_bits + self.index_bits
+        self._line_mask = ~(line_size - 1)
         self.stats = CacheStats()
         self.replacement = replacement
         self.seed = seed
@@ -188,15 +233,15 @@ class SetAssociativeCache:
 
     def set_index(self, address: int) -> int:
         """Set index of a byte address."""
-        return (address >> self.offset_bits) & (self.num_sets - 1)
+        return (address >> self.offset_bits) & self._index_mask
 
     def tag_of(self, address: int) -> int:
         """Tag of a byte address (all bits above the index)."""
-        return address >> (self.offset_bits + self.index_bits)
+        return address >> self._tag_shift
 
     def line_address(self, address: int) -> int:
         """Line-aligned address."""
-        return address & ~(self.line_size - 1)
+        return address & self._line_mask
 
     # ------------------------------------------------------------------ API
 
@@ -213,18 +258,29 @@ class SetAssociativeCache:
 
     def probe(self, address: int, is_write: bool = False) -> bool:
         """Look up without filling. Returns True on hit; updates stats/LRU."""
-        cache_set = self.set_at(self.set_index(address))
-        tag = self.tag_of(address)
-        self.stats.ways_probed += self.ways
-        way = cache_set.find(tag)
-        if way is None:
-            self.stats.misses += 1
-            return False
-        cache_set.policy.touch(way)
-        if is_write:
-            cache_set.lines[way].dirty = True
-        self.stats.hits += 1
-        return True
+        stats = self.stats
+        set_index = (address >> self.offset_bits) & self._index_mask
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self.set_at(set_index)
+        tag = address >> self._tag_shift
+        stats.ways_probed += self.ways
+        for way, line in enumerate(cache_set.lines):
+            if line.valid and line.tag == tag:
+                policy = cache_set.policy
+                if type(policy) is LRUPolicy:
+                    # Inlined LRUPolicy.touch (the per-reference case).
+                    order = policy._order
+                    order.remove(way)
+                    order.append(way)
+                else:
+                    policy.touch(way)
+                if is_write:
+                    line.dirty = True
+                stats.hits += 1
+                return True
+        stats.misses += 1
+        return False
 
     def fill(self, address: int, dirty: bool = False,
              from_superpage: bool = False,
@@ -233,34 +289,77 @@ class SetAssociativeCache:
 
         Filling an address that is already resident refreshes the existing
         line in place — a cache never holds two copies of one tag.
+
+        Runs on every miss (and on LLC prewarm), so the common
+        unconstrained path folds the resident check and invalid-way scan
+        into one pass and inlines the LRU moves; the outcome matches the
+        ``find`` / ``first_invalid`` / ``policy.victim`` composition
+        exactly.
         """
-        cache_set = self.set_at(self.set_index(address))
-        existing = cache_set.find(self.tag_of(address))
+        set_index = (address >> self.offset_bits) & self._index_mask
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self.set_at(set_index)
+        tag = address >> self._tag_shift
+        lines = cache_set.lines
+        policy = cache_set.policy
+        is_lru = type(policy) is LRUPolicy
+        if candidate_ways is None:
+            # One scan: the first valid tag match wins (as in ``find``);
+            # otherwise the first invalid way is remembered (as in
+            # ``first_invalid``).
+            existing = invalid = None
+            for way, line in enumerate(lines):
+                if line.valid:
+                    if line.tag == tag:
+                        existing = way
+                        break
+                elif invalid is None:
+                    invalid = way
+        else:
+            existing = cache_set.find(tag)
+            invalid = cache_set.first_invalid(candidate_ways)
         if existing is not None:
-            line = cache_set.lines[existing]
+            line = lines[existing]
             line.dirty = line.dirty or dirty
             line.from_superpage = from_superpage
-            cache_set.policy.touch(existing)
+            if is_lru:
+                order = policy._order
+                order.remove(existing)
+                order.append(existing)
+            else:
+                policy.touch(existing)
             return line
-        way = cache_set.first_invalid(candidate_ways)
+        way = invalid
         if way is None:
-            candidates = (list(range(self.ways)) if candidate_ways is None
-                          else list(candidate_ways))
-            way = cache_set.policy.victim(candidates)
-            victim = cache_set.lines[way]
+            if is_lru and candidate_ways is None:
+                # LRUPolicy.victim over the full way range returns the
+                # head of the recency list.
+                way = policy._order[0]
+            else:
+                candidates = (list(range(self.ways))
+                              if candidate_ways is None
+                              else list(candidate_ways))
+                way = policy.victim(candidates)
+            victim = lines[way]
             if victim.valid:
                 self.stats.evictions += 1
                 if victim.dirty:
                     self.stats.writebacks += 1
                 self._fire_eviction(victim)
-        line = cache_set.lines[way]
-        line.tag = self.tag_of(address)
+        line = lines[way]
+        line.tag = tag
         line.valid = True
         line.dirty = dirty
         line.state = "M" if dirty else "E"
-        line.line_address = self.line_address(address)
+        line.line_address = address & self._line_mask
         line.from_superpage = from_superpage
-        cache_set.policy.touch(way)
+        if is_lru:
+            order = policy._order
+            order.remove(way)
+            order.append(way)
+        else:
+            policy.touch(way)
         self.stats.fills += 1
         return line
 

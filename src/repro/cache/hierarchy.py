@@ -41,15 +41,39 @@ class HierarchyLevel:
         return self.cache.name
 
 
-@dataclass
 class MissServiceResult:
-    """Where a miss was serviced and what it cost."""
+    """Where a miss was serviced and what it cost.
 
-    latency_cycles: int
-    serviced_by: str           # "l2", "llc", or "dram"
-    l2_accessed: bool = False
-    llc_accessed: bool = False
-    dram_accessed: bool = False
+    Slotted plain class: one is allocated per L1 miss.
+    """
+
+    __slots__ = ("latency_cycles", "serviced_by", "l2_accessed",
+                 "llc_accessed", "dram_accessed")
+
+    def __init__(self, latency_cycles: int, serviced_by: str,
+                 l2_accessed: bool = False, llc_accessed: bool = False,
+                 dram_accessed: bool = False) -> None:
+        self.latency_cycles = latency_cycles
+        self.serviced_by = serviced_by     # "l2", "llc", or "dram"
+        self.l2_accessed = l2_accessed
+        self.llc_accessed = llc_accessed
+        self.dram_accessed = dram_accessed
+
+    def __repr__(self) -> str:
+        return (f"MissServiceResult(latency_cycles={self.latency_cycles!r}, "
+                f"serviced_by={self.serviced_by!r}, "
+                f"l2_accessed={self.l2_accessed!r}, "
+                f"llc_accessed={self.llc_accessed!r}, "
+                f"dram_accessed={self.dram_accessed!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MissServiceResult):
+            return NotImplemented
+        return (self.latency_cycles == other.latency_cycles
+                and self.serviced_by == other.serviced_by
+                and self.l2_accessed == other.l2_accessed
+                and self.llc_accessed == other.llc_accessed
+                and self.dram_accessed == other.dram_accessed)
 
 
 class MemoryHierarchy:
@@ -84,19 +108,24 @@ class MemoryHierarchy:
                      is_write: bool = False) -> MissServiceResult:
         """Service an L1 miss; fills every level the request passed through."""
         latency = 0
-        touched = {"l2": False, "llc": False, "dram": False}
+        l2_touched = False
+        llc_touched = False
         for level in self.levels:
             latency += level.hit_latency_cycles
-            touched[level.name] = True
+            name = level.cache.name
+            if name == "l2":
+                l2_touched = True
+            else:
+                llc_touched = True
             if level.cache.access(physical_address, is_write=is_write):
                 return MissServiceResult(
-                    latency_cycles=latency, serviced_by=level.name,
-                    l2_accessed=touched["l2"], llc_accessed=touched["llc"])
+                    latency_cycles=latency, serviced_by=name,
+                    l2_accessed=l2_touched, llc_accessed=llc_touched)
         latency += self.dram.latency_cycles(self.frequency_ghz)
         self.dram.accesses += 1
         return MissServiceResult(
             latency_cycles=latency, serviced_by="dram",
-            l2_accessed=touched["l2"], llc_accessed=touched["llc"],
+            l2_accessed=l2_touched, llc_accessed=llc_touched,
             dram_accessed=True)
 
     def writeback(self, physical_address: int) -> None:

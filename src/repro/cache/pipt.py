@@ -61,6 +61,17 @@ class PiptL1Cache:
                                 + self.timing.miss_detect_cycles()),
         )
 
+    def access_raw(self, virtual_address: int, physical_address: int,
+                   page_size: PageSize, is_write: bool = False) -> "tuple":
+        """Tuple form of :meth:`access` for the simulator's hot loop:
+        ``(hit, latency_cycles, ways_probed, fast_path, tft_hit,
+        way_prediction_correct, miss_detect_cycles)``."""
+        result = self.access(virtual_address, physical_address, page_size,
+                             is_write)
+        return (result.hit, result.latency_cycles, result.ways_probed,
+                result.fast_path, result.tft_hit,
+                result.way_prediction_correct, result.miss_detect_cycles)
+
     def fill(self, physical_address: int, page_size: PageSize,
              dirty: bool = False) -> CacheLine:
         """Install a line after the next level services a miss."""

@@ -18,29 +18,51 @@ from typing import Optional, Sequence
 from repro.devtools import sanitize as _sanitize
 from repro.mem.address import PAGE_SIZE_4KB, CACHE_LINE_SIZE, PageSize
 from repro.cache.basic import CacheLine, SetAssociativeCache
+from repro.cache.replacement import LRUPolicy
 
 
-@dataclass
 class L1AccessResult:
-    """Outcome of one CPU-side L1 lookup (timing + energy inputs)."""
+    """Outcome of one CPU-side L1 lookup (timing + energy inputs).
 
-    hit: bool
-    latency_cycles: int
-    ways_probed: int
-    page_size: PageSize
-    #: True when the lookup completed with the reduced (partitioned) probe.
-    fast_path: bool = False
-    #: TFT outcome for SEESAW caches (None for designs without a TFT).
-    tft_hit: Optional[bool] = None
-    #: way-prediction outcome when a way predictor is attached.
-    way_prediction_correct: Optional[bool] = None
-    #: cycles until a miss is declared and the next level can be probed.
-    #: Per the paper's Table I, a TFT-hit miss in SEESAW saves *energy*,
-    #: not latency: miss detection completes at the design's full *tag
-    #: path* — the quoted load-to-use latency covers data array + way
-    #: select + aligners, while tag comparison (which is all a miss needs)
-    #: finishes earlier.
-    miss_detect_cycles: int = 0
+    Slotted plain class: one is allocated per memory reference.
+    """
+
+    __slots__ = ("hit", "latency_cycles", "ways_probed", "page_size",
+                 "fast_path", "tft_hit", "way_prediction_correct",
+                 "miss_detect_cycles")
+
+    def __init__(self, hit: bool, latency_cycles: int, ways_probed: int,
+                 page_size: PageSize, fast_path: bool = False,
+                 tft_hit: Optional[bool] = None,
+                 way_prediction_correct: Optional[bool] = None,
+                 miss_detect_cycles: int = 0) -> None:
+        self.hit = hit
+        self.latency_cycles = latency_cycles
+        self.ways_probed = ways_probed
+        self.page_size = page_size
+        #: True when the lookup completed with the reduced (partitioned)
+        #: probe.
+        self.fast_path = fast_path
+        #: TFT outcome for SEESAW caches (None for designs without a TFT).
+        self.tft_hit = tft_hit
+        #: way-prediction outcome when a way predictor is attached.
+        self.way_prediction_correct = way_prediction_correct
+        #: cycles until a miss is declared and the next level can be
+        #: probed.  Per the paper's Table I, a TFT-hit miss in SEESAW
+        #: saves *energy*, not latency: miss detection completes at the
+        #: design's full *tag path* — the quoted load-to-use latency
+        #: covers data array + way select + aligners, while tag
+        #: comparison (which is all a miss needs) finishes earlier.
+        self.miss_detect_cycles = miss_detect_cycles
+
+    def __repr__(self) -> str:
+        return (f"L1AccessResult(hit={self.hit!r}, "
+                f"latency_cycles={self.latency_cycles!r}, "
+                f"ways_probed={self.ways_probed!r}, "
+                f"page_size={self.page_size!r}, "
+                f"fast_path={self.fast_path!r}, tft_hit={self.tft_hit!r}, "
+                f"way_prediction_correct={self.way_prediction_correct!r}, "
+                f"miss_detect_cycles={self.miss_detect_cycles!r})")
 
 
 @dataclass
@@ -103,6 +125,11 @@ class ViptL1Cache:
         self.store = SetAssociativeCache(
             size_bytes, ways, replacement="lru", name=name, seed=seed)
         self._sanitize = bool(sanitize) or _sanitize.enabled()
+        # Per-access constants, folded once (timing objects are immutable
+        # in practice; tests that mutate them construct fresh caches).
+        self._ways = self.store.ways
+        self._base_hit_cycles = timing.base_hit_cycles
+        self._miss_detect = timing.miss_detect_cycles()
 
     # ------------------------------------------------------------- properties
 
@@ -123,17 +150,62 @@ class ViptL1Cache:
     def access(self, virtual_address: int, physical_address: int,
                page_size: PageSize, is_write: bool = False) -> L1AccessResult:
         """CPU-side lookup. All ways of the indexed set are probed."""
+        (hit, latency, ways_probed, fast_path, tft_hit, wp_correct,
+         miss_detect) = self.access_raw(virtual_address, physical_address,
+                                        page_size, is_write)
+        result = L1AccessResult.__new__(L1AccessResult)
+        result.hit = hit
+        result.latency_cycles = latency
+        result.ways_probed = ways_probed
+        result.page_size = page_size
+        result.fast_path = fast_path
+        result.tft_hit = tft_hit
+        result.way_prediction_correct = wp_correct
+        result.miss_detect_cycles = miss_detect
+        return result
+
+    def access_raw(self, virtual_address: int, physical_address: int,
+                   page_size: PageSize, is_write: bool = False) -> "tuple":
+        """Hot-loop variant of :meth:`access` returning the plain tuple
+        ``(hit, latency_cycles, ways_probed, fast_path, tft_hit,
+        way_prediction_correct, miss_detect_cycles)`` — the per-reference
+        path allocates no result object.
+
+        The store probe is inlined (same order of stat updates and LRU
+        moves as :meth:`SetAssociativeCache.probe`) — this runs once per
+        memory reference.
+        """
         if self._sanitize:
             _sanitize.check_vipt_index(self.store, virtual_address,
                                        physical_address, self.name)
-        hit = self.store.probe(physical_address, is_write=is_write)
-        return L1AccessResult(
-            hit=hit,
-            latency_cycles=self.timing.base_hit_cycles,
-            ways_probed=self.ways,
-            page_size=page_size,
-            miss_detect_cycles=self.timing.miss_detect_cycles(),
-        )
+        store = self.store
+        stats = store.stats
+        set_index = (physical_address >> store.offset_bits) \
+            & store._index_mask
+        cache_set = store._sets.get(set_index)
+        if cache_set is None:
+            cache_set = store.set_at(set_index)
+        tag = physical_address >> store._tag_shift
+        stats.ways_probed += self._ways
+        hit = False
+        for way, line in enumerate(cache_set.lines):
+            if line.valid and line.tag == tag:
+                policy = cache_set.policy
+                if type(policy) is LRUPolicy:
+                    order = policy._order
+                    order.remove(way)
+                    order.append(way)
+                else:
+                    policy.touch(way)
+                if is_write:
+                    line.dirty = True
+                stats.hits += 1
+                hit = True
+                break
+        else:
+            stats.misses += 1
+        return (hit, self._base_hit_cycles, self._ways, False, None, None,
+                self._miss_detect)
 
     def fill(self, physical_address: int, page_size: PageSize,
              dirty: bool = False) -> CacheLine:

@@ -9,8 +9,12 @@
   print runtime/energy improvements;
 * ``sweep``      — the compare, across several workloads, with optional
   journaling (``--journal``/``--resume``), subprocess isolation
-  (``--isolate``/``--timeout``), and fault injection (``--inject``);
+  (``--isolate``/``--timeout``), parallel workers (``--jobs``), and
+  fault injection (``--inject``);
 * ``resume``     — continue an interrupted journaled sweep;
+* ``bench``      — measure simulator throughput and stage latencies,
+  emitting ``BENCH_perf.json`` with an optional regression gate
+  (``--baseline``/``--max-regression``);
 * ``table3``     — print the paper's Table III latency configurations;
 * ``lint``       — run the simlint static analyser (``repro lint src/``).
 
@@ -222,19 +226,33 @@ def _print_sweep_report(report, baseline: str, design: str,
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _apply_sanitizer_override(args)
-    from repro.resilience.runner import resilient_sweep
 
     names = args.workloads or list(WORKLOADS)
-    report = resilient_sweep(
-        _config_from_args(args), names,
-        trace_length=args.length, seed=args.seed,
-        designs=(args.baseline, args.design),
-        journal_path=args.journal,
-        resume=args.resume,
-        isolate=args.isolate,
-        timeout_s=args.timeout,
-        max_retries=args.retries,
-        fault_plan=_fault_plan_from_args(args))
+    jobs = args.jobs or 1
+    if jobs > 1:
+        from repro.perf.parallel import parallel_sweep
+        report = parallel_sweep(
+            _config_from_args(args), names,
+            trace_length=args.length, seed=args.seed,
+            designs=(args.baseline, args.design),
+            journal_path=args.journal,
+            resume=args.resume,
+            jobs=jobs,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            fault_plan=_fault_plan_from_args(args))
+    else:
+        from repro.resilience.runner import resilient_sweep
+        report = resilient_sweep(
+            _config_from_args(args), names,
+            trace_length=args.length, seed=args.seed,
+            designs=(args.baseline, args.design),
+            journal_path=args.journal,
+            resume=args.resume,
+            isolate=args.isolate,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            fault_plan=_fault_plan_from_args(args))
     return _print_sweep_report(
         report, args.baseline, args.design,
         title=f"{args.design} vs {args.baseline} "
@@ -249,19 +267,68 @@ def cmd_resume(args: argparse.Namespace) -> int:
     header, _cells = SweepJournal(args.journal).read()
     config = config_from_dict(header["config"])
     designs = header["designs"]
-    report = resilient_sweep(
-        config, header["workloads"],
-        trace_length=header["trace_length"], seed=header["seed"],
-        designs=designs,
-        journal_path=args.journal, resume=True,
-        isolate=args.isolate, timeout_s=args.timeout,
-        max_retries=args.retries)
+    jobs = args.jobs or 1
+    if jobs > 1:
+        from repro.perf.parallel import parallel_sweep
+        report = parallel_sweep(
+            config, header["workloads"],
+            trace_length=header["trace_length"], seed=header["seed"],
+            designs=designs,
+            journal_path=args.journal, resume=True,
+            jobs=jobs, timeout_s=args.timeout,
+            max_retries=args.retries)
+    else:
+        report = resilient_sweep(
+            config, header["workloads"],
+            trace_length=header["trace_length"], seed=header["seed"],
+            designs=designs,
+            journal_path=args.journal, resume=True,
+            isolate=args.isolate, timeout_s=args.timeout,
+            max_retries=args.retries)
     baseline = designs[0]
     design = designs[-1]
     return _print_sweep_report(
         report, baseline, design,
         title=f"resumed sweep: {design} vs {baseline} "
               f"({config.describe()})")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import check_regression, load_payload, run_benchmark
+
+    payload = run_benchmark(trace_length=args.length, seed=args.seed,
+                            repeats=args.repeats, jobs=args.jobs,
+                            quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    rows = [["cells/sec", f"{payload['cells_per_sec']:.3f}"],
+            ["accesses/sec", f"{payload['accesses_per_sec']:.0f}"],
+            ["wall (best repeat)", f"{payload['wall_s']:.3f}s"]]
+    for stage, figures in payload["stages"].items():
+        rows.append([f"{stage} p50/p95",
+                     f"{figures['p50_s'] * 1e3:.1f}ms / "
+                     f"{figures['p95_s'] * 1e3:.1f}ms"])
+    if "parallel" in payload:
+        parallel = payload["parallel"]
+        rows.append([f"parallel x{parallel['jobs']}",
+                     f"{parallel['wall_s']:.3f}s "
+                     f"({parallel['speedup_vs_serial']:.2f}x)"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"bench ({len(payload['params']['workloads'])}"
+                             f" workloads x "
+                             f"{len(payload['params']['designs'])} designs"
+                             f", {args.length} refs)"))
+    print(f"wrote {args.output}")
+    if args.baseline:
+        problems = check_regression(payload, load_payload(args.baseline),
+                                    args.max_regression)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"regression check passed against {args.baseline}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -330,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock budget per cell (implies --isolate)")
     sweep.add_argument("--retries", metavar="N", type=int, default=1,
                        help="retries for transient (timeout/crash) failures")
+    sweep.add_argument("--jobs", metavar="N", type=int, default=1,
+                       help="run up to N cells in parallel worker "
+                            "processes (journal bytes are identical for "
+                            "every N)")
     _add_machine_arguments(sweep)
     _add_injection_argument(sweep)
 
@@ -343,6 +414,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock budget per cell (implies --isolate)")
     resume.add_argument("--retries", metavar="N", type=int, default=1,
                         help="retries for transient failures")
+    resume.add_argument("--jobs", metavar="N", type=int, default=1,
+                        help="run remaining cells across N worker "
+                             "processes")
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator throughput (BENCH_perf.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-budget run: two workloads, one repeat")
+    bench.add_argument("--output", metavar="PATH",
+                       default="BENCH_perf.json",
+                       help="where to write the JSON payload")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="committed baseline payload to regression-"
+                            "check against (normalized by calibration)")
+    bench.add_argument("--max-regression", metavar="FRACTION", type=float,
+                       default=0.20,
+                       help="fail when normalized cells/sec drops more "
+                            "than this fraction below the baseline")
+    bench.add_argument("--jobs", metavar="N", type=int, default=1,
+                       help="also time a parallel sweep with N workers")
+    bench.add_argument("--length", type=int, default=20_000,
+                       help="trace length per cell")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="repeats (throughput uses the fastest)")
+    bench.add_argument("--seed", type=int, default=42)
 
     lint = sub.add_parser("lint",
                           help="run the simlint static analyser")
@@ -363,6 +459,7 @@ _HANDLERS = {
     "sweep": cmd_sweep,
     "resume": cmd_resume,
     "table3": cmd_table3,
+    "bench": cmd_bench,
     "lint": cmd_lint,
 }
 

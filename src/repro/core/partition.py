@@ -34,18 +34,34 @@ class WayPartitioning:
     def __post_init__(self) -> None:
         if self.total_ways % self.partition_ways:
             raise ValueError("partition_ways must divide total_ways")
-        if self.num_partitions & (self.num_partitions - 1):
+        partitions = self.total_ways // self.partition_ways
+        if partitions & (partitions - 1):
             raise ValueError("number of partitions must be a power of two")
+        # The geometry is frozen, so everything partition_of() and the
+        # per-partition way enumerations would recompute per access is
+        # derived once here (object.__setattr__ sidesteps frozen=True).
+        offset_bits = CACHE_LINE_SIZE.bit_length() - 1
+        index_bits = (self.num_sets - 1).bit_length()
+        object.__setattr__(self, "_num_partitions", partitions)
+        object.__setattr__(self, "_partition_mask", partitions - 1)
+        object.__setattr__(self, "_low_bit", offset_bits + index_bits)
+        object.__setattr__(self, "_partition_way_ranges", tuple(
+            range(p * self.partition_ways, (p + 1) * self.partition_ways)
+            for p in range(partitions)))
+        object.__setattr__(self, "_other_ways", tuple(
+            [w for w in range(self.total_ways)
+             if w // self.partition_ways != p]
+            for p in range(partitions)))
 
     @property
     def num_partitions(self) -> int:
         """Partitions per set."""
-        return self.total_ways // self.partition_ways
+        return self._num_partitions
 
     @property
     def partition_index_bits(self) -> int:
         """Width of the partition index field (0 when unpartitioned)."""
-        return (self.num_partitions - 1).bit_length()
+        return self._partition_mask.bit_length()
 
     @property
     def partition_index_low_bit(self) -> int:
@@ -55,23 +71,17 @@ class WayPartitioning:
         4KB page offset, which is why base pages cannot use it but 2MB
         superpages can.
         """
-        offset_bits = CACHE_LINE_SIZE.bit_length() - 1
-        index_bits = (self.num_sets - 1).bit_length()
-        return offset_bits + index_bits
+        return self._low_bit
 
     def partition_of(self, address: int) -> int:
         """Partition index encoded in ``address`` (virtual or physical)."""
-        if self.num_partitions == 1:
-            return 0
-        return ((address >> self.partition_index_low_bit)
-                & (self.num_partitions - 1))
+        return (address >> self._low_bit) & self._partition_mask
 
     def ways_of_partition(self, partition: int) -> range:
         """The way numbers belonging to ``partition``."""
-        if not 0 <= partition < self.num_partitions:
+        if not 0 <= partition < self._num_partitions:
             raise ValueError(f"partition {partition} out of range")
-        start = partition * self.partition_ways
-        return range(start, start + self.partition_ways)
+        return self._partition_way_ranges[partition]
 
     def partition_of_way(self, way: int) -> int:
         """Inverse of :meth:`ways_of_partition` for a single way."""
@@ -81,10 +91,12 @@ class WayPartitioning:
         """Every way in the set."""
         return range(self.total_ways)
 
-    def other_partitions_ways(self, partition: int) -> List[int]:
-        """Ways *outside* ``partition`` (the cycle-2 read on a TFT miss)."""
-        return [w for w in range(self.total_ways)
-                if w // self.partition_ways != partition]
+    def other_partitions_ways(self, partition: int) -> "List[int]":
+        """Ways *outside* ``partition`` (the cycle-2 read on a TFT miss).
+
+        The returned list is cached — callers must not mutate it.
+        """
+        return self._other_ways[partition]
 
     def index_bits_within_page(self, page_size: PageSize) -> bool:
         """True if the partition-index bits fit inside ``page_size``'s offset.

@@ -32,12 +32,27 @@ class HitSpeculationPolicy(enum.Enum):
     ADAPTIVE = "adaptive"
 
 
-@dataclass
 class SpeculationOutcome:
-    """Scheduling consequence of one L1 access."""
+    """Scheduling consequence of one L1 access (slotted: one per hit)."""
 
-    effective_latency_cycles: int
-    squashed: bool
+    __slots__ = ("effective_latency_cycles", "squashed")
+
+    def __init__(self, effective_latency_cycles: int,
+                 squashed: bool) -> None:
+        self.effective_latency_cycles = effective_latency_cycles
+        self.squashed = squashed
+
+    def __repr__(self) -> str:
+        return (f"SpeculationOutcome(effective_latency_cycles="
+                f"{self.effective_latency_cycles!r}, "
+                f"squashed={self.squashed!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpeculationOutcome):
+            return NotImplemented
+        return (self.effective_latency_cycles
+                == other.effective_latency_cycles
+                and self.squashed == other.squashed)
 
 
 @dataclass
@@ -85,18 +100,33 @@ class SchedulerModel:
     def assume_fast(self, superpage_tlb_valid: int,
                     superpage_tlb_capacity: int) -> bool:
         """Decide the assumed hit latency for the next load."""
-        if self.policy is HitSpeculationPolicy.ALWAYS_FAST:
-            decision = True
-        elif self.policy is HitSpeculationPolicy.ALWAYS_SLOW:
-            decision = False
+        policy = self.policy
+        if policy is HitSpeculationPolicy.ADAPTIVE:
+            decision = (superpage_tlb_valid
+                        >= superpage_tlb_capacity * self.scarcity_threshold)
         else:
-            threshold = superpage_tlb_capacity * self.scarcity_threshold
-            decision = superpage_tlb_valid >= threshold
+            decision = policy is HitSpeculationPolicy.ALWAYS_FAST
         if decision:
             self.stats.fast_assumptions += 1
         else:
             self.stats.slow_assumptions += 1
         return decision
+
+    def effective_hit_latency(self, assumed_fast: bool,
+                              actual_latency: int) -> int:
+        """Stat-updating core of :meth:`resolve_hit`, returning only the
+        effective latency (the per-hit path allocates no outcome object)."""
+        assumed = self.fast_cycles if assumed_fast else self.slow_cycles
+        if actual_latency > assumed:
+            # Dependents were woken expecting data at `assumed`; only the
+            # wakeups issued inside the (actual - assumed) window need
+            # replay, so the penalty is capped by that window.
+            penalty = min(self.squash_penalty_cycles,
+                          actual_latency - assumed)
+            self.stats.squashes += 1
+            self.stats.squash_cycles += penalty
+            return actual_latency + penalty
+        return assumed if assumed > actual_latency else actual_latency
 
     def resolve_hit(self, assumed_fast: bool,
                     actual_latency: int) -> SpeculationOutcome:
@@ -110,20 +140,10 @@ class SchedulerModel:
         * assumed slow, actual slow  → slow latency, no squash.
         """
         assumed = self.fast_cycles if assumed_fast else self.slow_cycles
-        if actual_latency > assumed:
-            # Dependents were woken expecting data at `assumed`; only the
-            # wakeups issued inside the (actual - assumed) window need
-            # replay, so the penalty is capped by that window.
-            penalty = min(self.squash_penalty_cycles,
-                          actual_latency - assumed)
-            self.stats.squashes += 1
-            self.stats.squash_cycles += penalty
-            return SpeculationOutcome(
-                effective_latency_cycles=actual_latency + penalty,
-                squashed=True)
         return SpeculationOutcome(
-            effective_latency_cycles=max(assumed, actual_latency),
-            squashed=False)
+            effective_latency_cycles=self.effective_hit_latency(
+                assumed_fast, actual_latency),
+            squashed=actual_latency > assumed)
 
     def resolve_miss(self, assumed_fast: bool,
                      total_latency: int) -> SpeculationOutcome:

@@ -25,12 +25,13 @@ from typing import Iterable, List, Optional, Sequence
 from repro.devtools import sanitize as _sanitize
 from repro.mem.address import CACHE_LINE_SIZE, PageSize
 from repro.cache.basic import CacheLine, SetAssociativeCache
+from repro.cache.replacement import LRUPolicy
 from repro.cache.vipt import CoherenceProbeResult, L1AccessResult, L1Timing
 from repro.cache.way_predictor import MRUWayPredictor
 from repro.core.adaptive_wp import WayPredictionGate
 from repro.core.insertion import InsertionPolicy
 from repro.core.partition import WayPartitioning
-from repro.core.tft import TranslationFilterTable
+from repro.core.tft import TranslationFilterTable, _REGION_SHIFT
 from repro.tlb.tlb import TLBEntry
 
 
@@ -126,6 +127,10 @@ class SeesawL1Cache:
             size_bytes, ways, replacement="lru", name=name, seed=seed)
         self.seesaw_stats = SeesawStats()
         self._sanitize = bool(sanitize) or _sanitize.enabled()
+        # Per-access constants folded once (see ViptL1Cache).
+        self._super_hit_cycles = timing.super_hit_cycles
+        self._base_hit_cycles = timing.base_hit_cycles
+        self._miss_detect = timing.miss_detect_cycles()
 
     # ------------------------------------------------------------ properties
 
@@ -210,24 +215,67 @@ class SeesawL1Cache:
         parallel TLB lookup, exactly as in baseline VIPT; the TFT outcome
         decides how many ways were probed and the resulting latency.
         """
+        (hit, latency, ways_probed, fast_path, tft_hit, wp_correct,
+         miss_detect) = self.access_raw(virtual_address, physical_address,
+                                        page_size, is_write)
+        result = L1AccessResult.__new__(L1AccessResult)
+        result.hit = hit
+        result.latency_cycles = latency
+        result.ways_probed = ways_probed
+        result.page_size = page_size
+        result.fast_path = fast_path
+        result.tft_hit = tft_hit
+        result.way_prediction_correct = wp_correct
+        result.miss_detect_cycles = miss_detect
+        return result
+
+    def access_raw(self, virtual_address: int, physical_address: int,
+                   page_size: PageSize, is_write: bool = False) -> "tuple":
+        """Hot-loop variant of :meth:`access` returning the plain tuple
+        ``(hit, latency_cycles, ways_probed, fast_path, tft_hit,
+        way_prediction_correct, miss_detect_cycles)`` — the per-reference
+        path allocates no result object.
+        """
         if self._sanitize:
             _sanitize.check_vipt_index(self.store, virtual_address,
                                        physical_address, self.name)
             _sanitize.check_partition_consistency(
                 self.partitioning, virtual_address, physical_address,
                 page_size, self.name)
-        set_index = self.store.set_index(physical_address)
-        cache_set = self.store.set_at(set_index)
-        tag = self.store.tag_of(physical_address)
-        speculative_partition = self.partitioning.partition_of(virtual_address)
-        partition_ways = self.partitioning.ways_of_partition(
-            speculative_partition)
-        tft_hit = self.tft.lookup(virtual_address)
+        store = self.store
+        stats = store.stats
+        seesaw_stats = self.seesaw_stats
+        partitioning = self.partitioning
+        set_index = (physical_address >> store.offset_bits) \
+            & store._index_mask
+        cache_set = store._sets.get(set_index)
+        if cache_set is None:
+            cache_set = store.set_at(set_index)
+        lines = cache_set.lines
+        tag = physical_address >> store._tag_shift
+        speculative_partition = (virtual_address >> partitioning._low_bit) \
+            & partitioning._partition_mask
+        partition_ways = \
+            partitioning._partition_way_ranges[speculative_partition]
+        # Inlined TranslationFilterTable.lookup (asid 0 — the per-reference
+        # path; same LRU move and stat updates as the method).
+        tft = self.tft
+        region = virtual_address >> _REGION_SHIFT
+        tft_entries = tft._sets[region % tft.num_sets]
+        tft_key = (region, 0)
+        if tft_key in tft_entries:
+            tft_entries.remove(tft_key)
+            tft_entries.append(tft_key)
+            tft.stats.hits += 1
+            tft_hit = True
+        else:
+            tft.stats.misses += 1
+            tft_hit = False
         is_super = page_size.is_superpage
         if is_super:
-            self.seesaw_stats.superpage_accesses += 1
+            seesaw_stats.superpage_accesses += 1
         else:
-            self.seesaw_stats.base_page_accesses += 1
+            seesaw_stats.base_page_accesses += 1
             if tft_hit and self._sanitize:
                 raise _sanitize.SanitizerError(
                     f"{self.name}: TFT hit for a base-page access at "
@@ -239,9 +287,14 @@ class SeesawL1Cache:
             self.wp_gate is None or self.wp_gate.should_predict())
         if tft_hit:
             # Rows 1-2 of Table I: only the named partition is probed.
-            latency = self.timing.super_hit_cycles
-            ways_probed = self.partitioning.partition_ways
-            way = self._find(cache_set, tag, partition_ways)
+            latency = self._super_hit_cycles
+            ways_probed = partitioning.partition_ways
+            way = None
+            for candidate in partition_ways:
+                line = lines[candidate]
+                if line.valid and line.tag == tag:
+                    way = candidate
+                    break
             if predict_this_access:
                 predicted = self.way_predictor.predict(
                     set_index, candidates=list(partition_ways))
@@ -258,20 +311,27 @@ class SeesawL1Cache:
                                 else self.timing.super_hit_cycles)
             hit = way is not None
             if hit:
-                self.seesaw_stats.fast_hits += 1
+                seesaw_stats.fast_hits += 1
             else:
-                self.seesaw_stats.fast_misses += 1
+                seesaw_stats.fast_misses += 1
             fast_path = True
         else:
             # Rows 3-4: speculative partition in cycle 1, rest in cycle 2.
-            latency = self.timing.base_hit_cycles
-            ways_probed = self.partitioning.total_ways
-            way = self._find(cache_set, tag, partition_ways)
+            latency = self._base_hit_cycles
+            ways_probed = partitioning.total_ways
+            way = None
+            for candidate in partition_ways:
+                line = lines[candidate]
+                if line.valid and line.tag == tag:
+                    way = candidate
+                    break
             if way is None:
-                way = self._find(
-                    cache_set, tag,
-                    self.partitioning.other_partitions_ways(
-                        speculative_partition))
+                for candidate in \
+                        partitioning._other_ways[speculative_partition]:
+                    line = lines[candidate]
+                    if line.valid and line.tag == tag:
+                        way = candidate
+                        break
             if predict_this_access:
                 # Without a TFT hit the predictor works over the whole set
                 # (the plain way-prediction design of Fig. 15): a correct
@@ -293,11 +353,11 @@ class SeesawL1Cache:
             fast_path = False
             if is_super:
                 if hit:
-                    self.seesaw_stats.tft_missed_superpage_l1_hits += 1
+                    seesaw_stats.tft_missed_superpage_l1_hits += 1
                 else:
-                    self.seesaw_stats.tft_missed_superpage_l1_misses += 1
+                    seesaw_stats.tft_missed_superpage_l1_misses += 1
 
-        self.store.stats.ways_probed += ways_probed
+        stats.ways_probed += ways_probed
         if hit and self._sanitize \
                 and self.insertion.coherence_probes_single_partition:
             # Under 4way insertion a hit must land in the PA's partition;
@@ -310,25 +370,23 @@ class SeesawL1Cache:
                 f"partition {actual} (way {way}) but the physical address "
                 f"names partition {expected} — partition map desynchronized")
         if hit:
-            cache_set.policy.touch(way)
+            policy = cache_set.policy
+            if type(policy) is LRUPolicy:
+                order = policy._order
+                order.remove(way)
+                order.append(way)
+            else:
+                policy.touch(way)
             if is_write:
-                cache_set.lines[way].dirty = True
-            self.store.stats.hits += 1
+                lines[way].dirty = True
+            stats.hits += 1
         else:
-            self.store.stats.misses += 1
-        return L1AccessResult(
-            hit=hit,
-            latency_cycles=latency,
-            ways_probed=ways_probed,
-            page_size=page_size,
-            fast_path=fast_path,
-            tft_hit=tft_hit,
-            way_prediction_correct=wp_correct,
-            # Table I: a TFT-hit miss saves energy, not latency — the miss
-            # is declared (and L2 probed) at the same tag-path point as
-            # the baseline.
-            miss_detect_cycles=self.timing.miss_detect_cycles(),
-        )
+            stats.misses += 1
+        # Table I: a TFT-hit miss saves energy, not latency — the miss is
+        # declared (and L2 probed) at the same tag-path point as the
+        # baseline.
+        return (hit, latency, ways_probed, fast_path, tft_hit, wp_correct,
+                self._miss_detect)
 
     def fill(self, physical_address: int, page_size: PageSize,
              dirty: bool = False) -> CacheLine:

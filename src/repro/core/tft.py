@@ -25,6 +25,10 @@ from typing import List, Optional, Tuple
 
 from repro.mem.address import PageSize, region_2mb
 
+#: shift applied per lookup; folded to a module constant so the hot path
+#: avoids the enum attribute chain.
+_REGION_SHIFT = PageSize.SUPER_2MB.offset_bits
+
 
 @dataclass
 class TFTStats:
@@ -90,9 +94,9 @@ class TranslationFilterTable:
 
     def lookup(self, virtual_address: int, asid: int = 0) -> bool:
         """True iff the address's 2MB region is known superpage-backed."""
-        region = region_2mb(virtual_address)
-        entries = self._sets[self._index(region)]
-        key = self._key(region, asid)
+        region = virtual_address >> _REGION_SHIFT
+        entries = self._sets[region % self.num_sets]
+        key = (region, asid if self.asid_tags else 0)
         if key in entries:
             entries.remove(key)
             entries.append(key)

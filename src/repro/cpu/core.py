@@ -38,6 +38,11 @@ class CoreModel:
         self.issue_width = issue_width
         self.frequency_ghz = frequency_ghz
         self.stats = CoreStats()
+        # memory_stall() is pure in (hit, latency) for fixed core
+        # parameters, and the simulator calls it with a handful of
+        # distinct latencies millions of times — memoizing returns the
+        # exact same float the pow/log2 computation would.
+        self._stall_cache: dict = {}
 
     def advance(self, gap_instructions: int) -> None:
         """Charge front-end cycles for non-memory instructions plus the
@@ -53,9 +58,14 @@ class CoreModel:
 
     def account_memory(self, hit: bool, latency_cycles: float) -> float:
         """Charge the exposed portion of a reference's latency; return it."""
-        stall = self.memory_stall(hit, latency_cycles)
-        self.stats.cycles += stall
-        self.stats.stall_cycles += stall
+        key = (hit, latency_cycles)
+        cache = self._stall_cache
+        stall = cache.get(key)
+        if stall is None:
+            stall = cache[key] = self.memory_stall(hit, latency_cycles)
+        stats = self.stats
+        stats.cycles += stall
+        stats.stall_cycles += stall
         return stall
 
     def charge_cycles(self, cycles: int) -> None:

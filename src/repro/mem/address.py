@@ -31,22 +31,20 @@ class PageSize(enum.IntEnum):
     """Page sizes supported by the modeled architecture.
 
     The enum *value* is the size in bytes so ``int(page_size)`` and
-    arithmetic work directly.
+    arithmetic work directly.  ``offset_bits``, ``offset_mask`` and
+    ``is_superpage`` are precomputed per member (below the class body):
+    the simulator reads them on every reference, so they are plain
+    attribute loads rather than properties recomputing ``bit_length``.
     """
 
     BASE_4KB = PAGE_SIZE_4KB
     SUPER_2MB = PAGE_SIZE_2MB
     SUPER_1GB = PAGE_SIZE_1GB
 
-    @property
-    def offset_bits(self) -> int:
-        """Number of page-offset bits (12 / 21 / 30)."""
-        return int(self).bit_length() - 1
-
-    @property
-    def is_superpage(self) -> bool:
-        """True for any size larger than the base page (paper's definition)."""
-        return self is not PageSize.BASE_4KB
+    # Populated right after the class body; declared here for type checkers.
+    offset_bits: int
+    offset_mask: int
+    is_superpage: bool
 
     @classmethod
     def from_bytes(cls, size: int) -> "PageSize":
@@ -61,6 +59,13 @@ class PageSize(enum.IntEnum):
             raise ValueError(f"unsupported page size: {size} bytes") from None
 
 
+for _member in PageSize:
+    _member.offset_bits = int(_member).bit_length() - 1
+    _member.offset_mask = int(_member) - 1
+    _member.is_superpage = _member is not PageSize.BASE_4KB
+del _member
+
+
 def page_offset_bits(page_size: PageSize) -> int:
     """Return the number of offset bits ``p`` for a page size (``2^p`` bytes)."""
     return page_size.offset_bits
@@ -73,12 +78,22 @@ def page_number(address: int, page_size: PageSize) -> int:
 
 def page_offset(address: int, page_size: PageSize) -> int:
     """Return the offset of ``address`` within its page."""
-    return address & (int(page_size) - 1)
+    return address & page_size.offset_mask
 
 
 def page_base(address: int, page_size: PageSize) -> int:
     """Return the base address of the page containing ``address``."""
-    return address & ~(int(page_size) - 1)
+    return address & ~page_size.offset_mask
+
+
+def decompose(address: int, page_size: PageSize) -> "tuple[int, int]":
+    """Split ``address`` into ``(page_number, page_offset)``."""
+    return address >> page_size.offset_bits, address & page_size.offset_mask
+
+
+def recompose(number: int, offset: int, page_size: PageSize) -> int:
+    """Inverse of :func:`decompose`: rebuild the address from its parts."""
+    return (number << page_size.offset_bits) | offset
 
 
 def align_down(value: int, alignment: int) -> int:

@@ -163,11 +163,7 @@ class MemoryManager:
         period) cannot be superpage-backed without promotion, so first-touch
         superpage allocation only applies to virgin regions.
         """
-        step = int(PageSize.BASE_4KB)
-        for i in range(int(PageSize.SUPER_2MB) // step):
-            if table.is_mapped(region_base + i * step):
-                return False
-        return True
+        return not table.region_has_mappings(region_base)
 
     def touch_range(self, start: int, length: int, asid: int = 0) -> None:
         """Demand-fault every base page in ``[start, start + length)``."""

@@ -224,6 +224,34 @@ class PageTable:
         except TranslationFault:
             return False
 
+    def region_has_mappings(self, region_base: int) -> bool:
+        """True if any translation covers part of the 2MB region.
+
+        Equivalent to probing :meth:`is_mapped` for all 512 base pages, but
+        the whole region lives under a single PD entry, so three dict hops
+        answer it.  Keeps first-touch superpage allocation (which must
+        check region virginity on every new region) off the O(512) path.
+        """
+        pml4, pdpt, pd, _ = self._indices(region_base)
+        entry = self._root.entries.get(pml4)
+        if entry is None:
+            return False
+        if isinstance(entry, Mapping):
+            return True
+        entry = entry.entries.get(pdpt)
+        if entry is None:
+            return False
+        if isinstance(entry, Mapping):   # 1GB leaf covers the region
+            return True
+        entry = entry.entries.get(pd)
+        if entry is None:
+            return False
+        if isinstance(entry, Mapping):   # 2MB leaf
+            return True
+        # A PT node: mapped iff any 4KB leaf survives under it (a subtree
+        # emptied by unmaps leaves the node behind but holds no mappings).
+        return bool(entry.entries)
+
     def __len__(self) -> int:
         return self._mapping_count
 

@@ -1,0 +1,20 @@
+"""Performance engineering: parallel sweep execution and benchmarking.
+
+* :func:`repro.perf.parallel.parallel_sweep` — a process-pool dispatcher
+  layered on the resilience journal, so ``repro sweep --jobs N`` runs
+  cells concurrently while writing the exact journal bytes a serial sweep
+  would.
+* :mod:`repro.perf.bench` — the ``repro bench`` harness: per-stage
+  latency percentiles, cells/sec and accesses/sec throughput, and a
+  calibration-normalized regression gate against a committed baseline.
+"""
+
+from repro.perf.parallel import DuplicateCellError, parallel_sweep
+from repro.perf.bench import check_regression, run_benchmark
+
+__all__ = [
+    "DuplicateCellError",
+    "parallel_sweep",
+    "run_benchmark",
+    "check_regression",
+]

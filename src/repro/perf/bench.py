@@ -1,0 +1,236 @@
+"""The ``repro bench`` harness: simulator throughput measurement.
+
+Runs the tier-1 smoke matrix (workloads x designs) with per-stage
+instrumentation and emits ``BENCH_perf.json``:
+
+* **throughput** — ``cells_per_sec`` (completed sweep cells per second of
+  wall clock) and ``accesses_per_sec`` (simulated memory references per
+  second of run-loop time);
+* **stage latencies** — p50/p95 seconds per cell for each pipeline stage
+  (``trace`` build, simulator ``construct``, ``prewarm``, the main
+  ``loop``, result ``collect``);
+* **calibration** — a fixed pure-Python spin measured at bench time.
+  Regression checks compare *normalized* throughput
+  (``cells_per_sec / calibration``), so a baseline committed from one
+  machine transfers to a faster or slower one.
+
+Repeats are best-of-N: per-stage samples are pooled across repeats for
+the percentiles, while throughput uses the fastest repeat (the least
+machine-noise-contaminated estimate of what the code can do).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: JSON schema version of the BENCH_perf.json payload.
+BENCH_SCHEMA = 1
+
+#: The tier-1 smoke matrix (matches the CI kill-and-resume sweep).
+SMOKE_WORKLOADS = ("g500", "gups", "redis", "mcf")
+#: Reduced matrix for ``--quick`` (CI-budget) runs.
+QUICK_WORKLOADS = ("gups", "redis")
+
+STAGES = ("trace", "construct", "prewarm", "loop", "collect")
+
+
+def calibrate(iterations: int = 2_000_000) -> float:
+    """Machine-speed yardstick: fixed-arithmetic iterations per second.
+
+    A deterministic integer LCG spin — no allocation, no library calls —
+    so the number tracks the interpreter + CPU speed the simulator itself
+    runs on.  Used to normalize throughput across machines.
+    """
+    state = 1
+    start = time.perf_counter()
+    for _ in range(iterations):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+    elapsed = time.perf_counter() - start
+    return iterations / elapsed
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def _run_cell_instrumented(config, workload: str, trace_length: int,
+                           seed: int) -> Dict[str, float]:
+    """One sweep cell with per-stage wall-clock timings.
+
+    Uses :func:`build_trace` directly (not the memo) so the ``trace``
+    stage reports the honest cold cost every time.
+    """
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.suite import build_trace, get_workload
+
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    trace = build_trace(get_workload(workload), length=trace_length,
+                        seed=seed)
+    timings["trace"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    simulator = SystemSimulator(config, trace)
+    timings["construct"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    simulator._begin(0.25)
+    timings["prewarm"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    simulator.run_until(len(trace))
+    timings["loop"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    simulator._collect()
+    timings["collect"] = time.perf_counter() - start
+
+    timings["references"] = float(len(trace))
+    return timings
+
+
+def run_benchmark(workloads: Optional[Sequence[str]] = None,
+                  designs: Sequence[str] = ("vipt", "seesaw"),
+                  trace_length: int = 20_000, seed: int = 42,
+                  repeats: int = 3, jobs: int = 1,
+                  quick: bool = False,
+                  base_config=None) -> Dict:
+    """Measure sweep throughput and stage latencies; return the payload.
+
+    ``quick`` shrinks the matrix (two workloads, one repeat) to CI
+    budget.  ``jobs > 1`` adds a ``parallel`` section: wall-clock of a
+    :func:`repro.perf.parallel.parallel_sweep` over the same matrix and
+    its speedup against the serial instrumented pass.
+    """
+    from repro.sim.config import SystemConfig
+
+    if quick:
+        workloads = list(workloads or QUICK_WORKLOADS)
+        repeats = 1
+    else:
+        workloads = list(workloads or SMOKE_WORKLOADS)
+    config = base_config if base_config is not None else SystemConfig(
+        seed=seed)
+    cells = [(workload, design) for workload in workloads
+             for design in designs]
+
+    # Warm the interpreter (imports, code objects) outside the clock.
+    _run_cell_instrumented(config.with_design(designs[0]), workloads[0],
+                           min(2000, trace_length), seed)
+
+    stage_samples: Dict[str, List[float]] = {stage: [] for stage in STAGES}
+    repeat_walls: List[float] = []
+    repeat_loops: List[float] = []
+    total_references = 0
+    for repeat in range(max(1, repeats)):
+        wall = 0.0
+        loop = 0.0
+        references = 0
+        for workload, design in cells:
+            timings = _run_cell_instrumented(
+                config.with_design(design), workload, trace_length, seed)
+            for stage in STAGES:
+                stage_samples[stage].append(timings[stage])
+            wall += sum(timings[stage] for stage in STAGES)
+            loop += timings["loop"]
+            references += int(timings["references"])
+        repeat_walls.append(wall)
+        repeat_loops.append(loop)
+        total_references = references
+
+    best_wall = min(repeat_walls)
+    best_loop = min(repeat_loops)
+    payload: Dict = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "params": {
+            "workloads": workloads,
+            "designs": list(designs),
+            "trace_length": trace_length,
+            "seed": seed,
+            "repeats": max(1, repeats),
+            "quick": quick,
+        },
+        "calibration_ops_per_sec": calibrate(),
+        "cells": len(cells),
+        "references_per_repeat": total_references,
+        "wall_s": best_wall,
+        "cells_per_sec": len(cells) / best_wall,
+        "accesses_per_sec": total_references / best_loop,
+        "stages": {
+            stage: {
+                "p50_s": percentile(stage_samples[stage], 50),
+                "p95_s": percentile(stage_samples[stage], 95),
+            }
+            for stage in STAGES
+        },
+    }
+
+    if jobs > 1:
+        from repro.perf.parallel import parallel_sweep
+        start = time.perf_counter()
+        parallel_sweep(config, workloads, trace_length=trace_length,
+                       seed=seed, designs=designs, jobs=jobs)
+        parallel_wall = time.perf_counter() - start
+        payload["parallel"] = {
+            "jobs": jobs,
+            "wall_s": parallel_wall,
+            "speedup_vs_serial": best_wall / parallel_wall,
+        }
+    return payload
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     max_regression: float = 0.20) -> List[str]:
+    """Compare normalized throughput against a committed baseline.
+
+    Returns a list of human-readable problems (empty = pass).  Throughput
+    is normalized by each payload's own calibration figure, so the check
+    measures code speed, not machine speed.
+    """
+    problems: List[str] = []
+    for payload, label in ((current, "current"), (baseline, "baseline")):
+        if not payload.get("calibration_ops_per_sec"):
+            problems.append(f"{label} payload has no calibration figure")
+    if problems:
+        return problems
+    current_norm = (current["cells_per_sec"]
+                    / current["calibration_ops_per_sec"])
+    baseline_norm = (baseline["cells_per_sec"]
+                     / baseline["calibration_ops_per_sec"])
+    floor = baseline_norm * (1.0 - max_regression)
+    if current_norm < floor:
+        drop = 100.0 * (1.0 - current_norm / baseline_norm)
+        problems.append(
+            f"normalized cells/sec regressed {drop:.1f}% "
+            f"(limit {100.0 * max_regression:.0f}%): "
+            f"{current_norm:.3e} vs baseline {baseline_norm:.3e}")
+    return problems
+
+
+def load_payload(path) -> Dict:
+    """Read a BENCH_perf.json payload, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema "
+            f"{payload.get('schema')!r} (expected {BENCH_SCHEMA})")
+    return payload

@@ -1,0 +1,371 @@
+"""Process-pool parallel sweeps with journal semantics identical to serial.
+
+:func:`parallel_sweep` runs a (workload x design) matrix across worker
+processes — the same ``_cell_worker`` subprocess entry the resilient
+runner uses for isolation — while preserving every contract of
+:func:`repro.resilience.runner.resilient_sweep`:
+
+* **Byte-identical journals.**  Cells complete out of order, but records
+  are buffered and appended in cell-enumeration order, so the journal a
+  ``--jobs 8`` sweep writes is byte-for-byte the journal a ``--jobs 1``
+  sweep writes.  Crash-safety granularity follows: the journal always
+  holds a clean enumeration-order prefix, and a killed parallel sweep
+  resumes exactly like a killed serial one.
+* **Retry + degradation.**  Transient failures (wall-clock timeout, a
+  worker dying without reporting) retry with the serial runner's
+  exponential backoff; deterministic errors degrade into ``FailedCell``
+  records (or raise under ``fail_fast``).
+* **Duplicate-cell rejection.**  Dispatching a cell that is already in
+  flight raises :class:`DuplicateCellError` — two workers simulating the
+  same (workload, design) would race their journal records.
+
+``jobs <= 1`` delegates to ``resilient_sweep`` unchanged, so the serial
+path stays the single source of truth for one-at-a-time semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.resilience.checkpoint import config_digest, config_to_dict
+from repro.resilience.runner import (
+    CellCrash,
+    CellError,
+    CellTimeout,
+    FailedCell,
+    SweepJournal,
+    SweepReport,
+    VALID_DESIGNS,
+    _cell_worker,
+)
+
+
+class DuplicateCellError(RuntimeError):
+    """The same (workload, design) cell was dispatched twice concurrently."""
+
+
+class _CellTask:
+    """Dispatch state for one sweep cell."""
+
+    __slots__ = ("slot", "workload", "design", "config", "digest",
+                 "attempts", "ready_at")
+
+    def __init__(self, slot: int, workload: str, design: str, config,
+                 digest: str) -> None:
+        self.slot = slot              # position in the execution order
+        self.workload = workload
+        self.design = design
+        self.config = config
+        self.digest = digest
+        self.attempts = 0
+        self.ready_at = 0.0           # monotonic time a retry becomes due
+
+
+class _Running:
+    """A task currently executing in a worker process."""
+
+    __slots__ = ("task", "worker", "receiver", "deadline")
+
+    def __init__(self, task: _CellTask, worker, receiver,
+                 deadline: Optional[float]) -> None:
+        self.task = task
+        self.worker = worker
+        self.receiver = receiver
+        self.deadline = deadline
+
+
+class _ParallelDispatcher:
+    """Run cell tasks across up to ``jobs`` worker processes.
+
+    Completion is reported through ``on_complete(task, kind, payload)``
+    where ``kind`` is ``"ok"`` (payload: the result dict) or ``"failed"``
+    (payload: a :class:`FailedCell`).  The callback order is completion
+    order; callers that need deterministic order re-sequence by
+    ``task.slot``.
+    """
+
+    def __init__(self, jobs: int, trace_length: int, seed: int, fault_plan,
+                 timeout_s: Optional[float], max_retries: int,
+                 retry_backoff_s: float, fail_fast: bool) -> None:
+        self.jobs = max(1, jobs)
+        self.trace_length = trace_length
+        self.seed = seed
+        self.fault_plan = fault_plan
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.fail_fast = fail_fast
+        method = ("fork"
+                  if "fork" in multiprocessing.get_all_start_methods()
+                  else "spawn")
+        self._context = multiprocessing.get_context(method)
+        self._in_flight: Dict[Tuple[str, str], _Running] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _spawn(self, task: _CellTask) -> None:
+        key = (task.workload, task.design)
+        if key in self._in_flight:
+            raise DuplicateCellError(
+                f"cell ({task.workload}, {task.design}) is already in "
+                f"flight — refusing to race two workers on one journal "
+                f"record")
+        receiver, sender = self._context.Pipe(duplex=False)
+        worker = self._context.Process(
+            target=_cell_worker,
+            args=(sender, task.config, task.workload, self.trace_length,
+                  self.seed, self.fault_plan),
+            daemon=True)
+        worker.start()
+        sender.close()  # parent keeps only the read end
+        task.attempts += 1
+        deadline = (time.monotonic() + self.timeout_s
+                    if self.timeout_s is not None else None)
+        self._in_flight[key] = _Running(task, worker, receiver, deadline)
+
+    def _reap(self, running: _Running) -> None:
+        running.receiver.close()
+        if running.worker.is_alive():
+            running.worker.terminate()
+            running.worker.join(2)
+        if running.worker.is_alive():
+            running.worker.kill()
+            running.worker.join(2)
+
+    def _shutdown(self) -> None:
+        for running in list(self._in_flight.values()):
+            self._reap(running)
+        self._in_flight.clear()
+
+    # -------------------------------------------------------------- failure
+
+    def _transient(self, running: _Running, exc, retries: List[_CellTask],
+                   on_complete) -> None:
+        """Timeout/crash: retry with backoff, else degrade (or raise)."""
+        task = running.task
+        if task.attempts <= self.max_retries:
+            task.ready_at = (time.monotonic()
+                             + self.retry_backoff_s
+                             * 2 ** (task.attempts - 1))
+            retries.append(task)
+            return
+        if self.fail_fast:
+            self._shutdown()
+            raise exc
+        on_complete(task, "failed", FailedCell(
+            workload=task.workload, design=task.design,
+            error_class=type(exc).__name__, message=str(exc),
+            traceback="", config_digest=task.digest,
+            attempts=task.attempts))
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, tasks: List[_CellTask],
+            on_complete: Callable[[_CellTask, str, object], None]) -> None:
+        pending = deque(tasks)
+        retries: List[_CellTask] = []
+        try:
+            while pending or retries or self._in_flight:
+                now = time.monotonic()
+                for task in [t for t in retries if t.ready_at <= now]:
+                    retries.remove(task)
+                    pending.append(task)
+                while pending and len(self._in_flight) < self.jobs:
+                    self._spawn(pending.popleft())
+                if not self._in_flight:
+                    if retries:
+                        due = min(task.ready_at for task in retries)
+                        time.sleep(max(0.0, due - time.monotonic()))
+                    continue
+                timeout = None
+                if self.timeout_s is not None:
+                    first = min(r.deadline
+                                for r in self._in_flight.values())
+                    timeout = max(0.0, first - now)
+                if retries:
+                    due = max(0.0, min(t.ready_at for t in retries) - now)
+                    timeout = due if timeout is None else min(timeout, due)
+                by_receiver = {r.receiver: r
+                               for r in self._in_flight.values()}
+                ready = _connection_wait(list(by_receiver), timeout)
+                for receiver in ready:
+                    running = by_receiver[receiver]
+                    task = running.task
+                    del self._in_flight[(task.workload, task.design)]
+                    try:
+                        outcome = receiver.recv()
+                    except EOFError:
+                        self._reap(running)
+                        self._transient(running, CellCrash(
+                            f"cell ({task.workload}, {task.design}) worker "
+                            f"died without reporting (exit code "
+                            f"{running.worker.exitcode})"), retries,
+                            on_complete)
+                        continue
+                    self._reap(running)
+                    if outcome[0] == "ok":
+                        on_complete(task, "ok", outcome[1])
+                        continue
+                    _, error_class, message, traceback_text = outcome
+                    if self.fail_fast:
+                        self._shutdown()
+                        raise CellError(error_class, message,
+                                        traceback_text)
+                    # Deterministic error: never retried (same input, same
+                    # crash), mirrors the serial runner.
+                    on_complete(task, "failed", FailedCell(
+                        workload=task.workload, design=task.design,
+                        error_class=error_class, message=message,
+                        traceback=traceback_text,
+                        config_digest=task.digest,
+                        attempts=task.attempts))
+                if self.timeout_s is not None:
+                    now = time.monotonic()
+                    for key, running in list(self._in_flight.items()):
+                        if running.deadline > now or \
+                                running.receiver.poll(0):
+                            continue  # still in budget, or raced completion
+                        task = running.task
+                        del self._in_flight[key]
+                        self._reap(running)
+                        self._transient(running, CellTimeout(
+                            f"cell ({task.workload}, {task.design}) "
+                            f"exceeded {self.timeout_s:g}s wall clock"),
+                            retries, on_complete)
+        finally:
+            self._shutdown()
+
+
+def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
+                   seed: int = 42, designs=("vipt", "seesaw"), mutate=None,
+                   journal_path=None, resume: bool = True,
+                   jobs: Optional[int] = None,
+                   timeout_s: Optional[float] = None, max_retries: int = 1,
+                   retry_backoff_s: float = 0.25, fault_plan=None,
+                   fail_fast: bool = False) -> SweepReport:
+    """Run a journaled (workload x design) sweep across worker processes.
+
+    Drop-in parallel variant of
+    :func:`repro.resilience.runner.resilient_sweep`: the report, the
+    journal bytes, and the resume behaviour are identical for every
+    ``jobs`` value — only wall-clock time changes.  Each cell runs in its
+    own subprocess (parallelism implies isolation), so ``timeout_s``
+    watchdogs apply per cell exactly as under ``isolate=True``.
+
+    Args:
+        jobs: worker processes; ``None`` uses ``os.cpu_count()``.  Values
+            <= 1 delegate wholesale to ``resilient_sweep`` (in-process,
+            one cell at a time).
+        (all other arguments match ``resilient_sweep``.)
+    """
+    from repro.resilience.runner import resilient_sweep
+    from repro.sim.stats import SimulationResult
+    from repro.workloads.suite import get_workload
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1:
+        return resilient_sweep(
+            base_config, workloads, trace_length=trace_length, seed=seed,
+            designs=designs, mutate=mutate, journal_path=journal_path,
+            resume=resume, isolate=False, timeout_s=timeout_s,
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+            fault_plan=fault_plan, fail_fast=fail_fast)
+
+    workloads = list(workloads)
+    designs = list(designs)
+    for design in designs:
+        if design not in VALID_DESIGNS:
+            raise ValueError(
+                f"unknown design {design!r}; valid designs: "
+                f"{', '.join(VALID_DESIGNS)}")
+    for workload in workloads:
+        get_workload(workload)
+
+    journal = SweepJournal(journal_path) if journal_path is not None else None
+    done: Dict[Tuple[str, str], Dict] = {}
+    if journal is not None:
+        if resume and journal.exists():
+            _, done = journal.read()
+        else:
+            journal.write_header({
+                "config": config_to_dict(base_config),
+                "config_digest": config_digest(base_config),
+                "workloads": workloads,
+                "designs": designs,
+                "trace_length": trace_length,
+                "seed": seed,
+            })
+
+    cells = list(dict.fromkeys(
+        (workload, design) for workload in workloads for design in designs))
+    results: Dict[str, Dict] = {
+        workload: {} for workload in dict.fromkeys(workloads)}
+    reused = 0
+    # mutate runs once per workload, in enumeration order (serial contract).
+    per_workload_config: Dict[str, object] = {}
+    tasks: List[_CellTask] = []
+    reused_records: Dict[Tuple[str, str], Dict] = {}
+    for workload, design in cells:
+        if workload not in per_workload_config:
+            per_workload_config[workload] = (
+                mutate(base_config, workload) if mutate else base_config)
+        config = per_workload_config[workload].with_design(design)
+        digest = config_digest(config)
+        record = done.get((workload, design))
+        if (record is not None and record.get("type") == "done"
+                and record.get("config_digest") == digest):
+            reused_records[(workload, design)] = record
+            reused += 1
+            continue
+        tasks.append(_CellTask(len(tasks), workload, design, config, digest))
+
+    # Completion-order outcomes, re-sequenced into enumeration order for
+    # the journal: slot N's record is appended only once slots 0..N-1 are
+    # written, so the journal is always a clean serial-order prefix.
+    outcomes: Dict[int, Tuple[str, object]] = {}
+    next_slot = 0
+
+    def on_complete(task: _CellTask, kind: str, payload) -> None:
+        nonlocal next_slot
+        outcomes[task.slot] = (kind, payload)
+        while next_slot < len(tasks) and next_slot in outcomes:
+            flush_kind, flush_payload = outcomes[next_slot]
+            flushed = tasks[next_slot]
+            if journal is not None:
+                if flush_kind == "ok":
+                    journal.append_done(flushed.workload, flushed.design,
+                                        flushed.digest, flush_payload)
+                else:
+                    journal.append_failed(flush_payload)
+            next_slot += 1
+
+    dispatcher = _ParallelDispatcher(
+        jobs=jobs, trace_length=trace_length, seed=seed,
+        fault_plan=fault_plan, timeout_s=timeout_s,
+        max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+        fail_fast=fail_fast)
+    dispatcher.run(tasks, on_complete)
+
+    failures: List[FailedCell] = []
+    by_key = {(task.workload, task.design): task for task in tasks}
+    for workload, design in cells:
+        record = reused_records.get((workload, design))
+        if record is not None:
+            results[workload][design] = SimulationResult.from_dict(
+                record["result"])
+            continue
+        kind, payload = outcomes[by_key[(workload, design)].slot]
+        if kind == "ok":
+            results[workload][design] = SimulationResult.from_dict(payload)
+        else:
+            failures.append(payload)
+    if journal is not None and journal.exists():
+        journal.rewrite_canonical(cells)
+    return SweepReport(results=results, failures=failures,
+                       reused=reused, executed=len(tasks))

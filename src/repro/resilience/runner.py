@@ -201,6 +201,48 @@ class SweepJournal:
                 cells[(record["workload"], record["design"])] = record
         return header, cells
 
+    def rewrite_canonical(self, cell_order=None) -> bool:
+        """Rewrite as header + the last record per cell, in canonical order.
+
+        Canonical order is the sweep's cell enumeration — ``workloads x
+        designs`` from the header, or an explicit ``cell_order`` list of
+        ``(workload, design)`` pairs; cells outside the enumeration (e.g.
+        after the matrix shrank) sort after it, lexicographically.  A
+        resumed or parallel sweep appends records in completion order;
+        canonicalizing collapses superseded records and makes the journal
+        bytes independent of that order, so an interrupted-and-resumed
+        sweep ends with the same journal as an uninterrupted one.
+
+        Atomic: the new content is written to a sibling temp file, fsynced,
+        and ``os.replace``d over the journal.  Returns True when the file
+        content changed.
+        """
+        header, cells = self.read()
+        if cell_order is None:
+            cell_order = [(workload, design)
+                          for workload in header.get("workloads", [])
+                          for design in header.get("designs", [])]
+        rank = {key: position for position, key in enumerate(cell_order)}
+        ordered = sorted(
+            cells.items(),
+            key=lambda item: (rank.get(item[0], len(rank)), item[0]))
+        # Records already carry their checksums; re-dumping with sorted keys
+        # reproduces each original line byte for byte.
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for _, record in ordered)
+        content = "\n".join(lines) + "\n"
+        current = self.path.read_text(encoding="utf-8")
+        if content == current:
+            return False
+        temp = self.path.with_name(self.path.name + ".canonical.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        return True
+
 
 # ------------------------------------------------------------ cell execution
 
@@ -208,9 +250,16 @@ def _run_cell(config, workload: str, trace_length: int, seed: int,
               fault_plan=None):
     """Simulate one (workload, design) cell inline and return its result."""
     from repro.sim.system import SystemSimulator
-    from repro.workloads.suite import build_trace, get_workload
+    from repro.workloads.suite import build_trace, cached_trace, get_workload
 
-    trace = build_trace(get_workload(workload), trace_length, seed=seed)
+    if fault_plan is None:
+        # Fault-free cells treat the trace as read-only, so consecutive
+        # designs of one sweep row share a memoized copy.
+        trace = cached_trace(workload, trace_length, seed=seed)
+    else:
+        # Fault injection may mutate the trace in place (trace-truncate);
+        # build a private copy.
+        trace = build_trace(get_workload(workload), trace_length, seed=seed)
     sim = SystemSimulator(config, trace)
     if fault_plan is not None:
         sim.arm_faults(fault_plan)
@@ -430,5 +479,10 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
             failures.append(failure)
             if journal is not None:
                 journal.append_failed(failure)
+    if journal is not None and journal.exists():
+        # Collapse superseded records and order by cell enumeration, so a
+        # resumed sweep leaves the same journal bytes as an uninterrupted
+        # one (no-op when already canonical).
+        journal.rewrite_canonical(cells)
     return SweepReport(results=results, failures=failures,
                        reused=reused, executed=executed)

@@ -14,7 +14,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimulationResult
 from repro.sim.system import simulate
-from repro.workloads.suite import WorkloadSpec, build_trace, get_workload
+from repro.workloads.suite import (WorkloadSpec, build_trace, cached_trace,
+                                   get_workload)
 from repro.workloads.trace import MemoryTrace
 
 
@@ -37,9 +38,13 @@ def _require_known_designs(designs: Iterable[str]) -> List[str]:
 def run_workload(config: SystemConfig, workload: str,
                  trace_length: int = 60_000,
                  seed: int = 42) -> SimulationResult:
-    """Build the named workload's trace and simulate it under ``config``."""
-    trace = build_trace(get_workload(workload), length=trace_length,
-                        seed=seed)
+    """Build the named workload's trace and simulate it under ``config``.
+
+    The trace is memoized (see :func:`repro.workloads.suite.cached_trace`):
+    back-to-back runs of one workload under different designs — a sweep
+    row — skip the regeneration cost.
+    """
+    trace = cached_trace(workload, trace_length, seed=seed)
     return simulate(config, trace)
 
 

@@ -33,7 +33,7 @@ from repro.cache.way_predictor import MRUWayPredictor
 from repro.coherence.directory import Directory
 from repro.coherence.snoop import SnoopyBus
 from repro.core.adaptive_wp import WayPredictionGate
-from repro.core.scheduling import SchedulerModel
+from repro.core.scheduling import HitSpeculationPolicy, SchedulerModel
 from repro.core.seesaw import SeesawL1Cache
 from repro.cpu.inorder import InOrderCore
 from repro.cpu.ooo import OutOfOrderCore
@@ -327,9 +327,20 @@ class SystemSimulator:
         if not self.hierarchy.levels:
             return
         llc = self.hierarchy.levels[-1].cache
+        llc_access = llc.access
+        lookup = page_table.lookup
         seen_lines = dict.fromkeys(a >> 6 for a in self.trace.addresses)
+        # Lines in one 4KB page share a leaf mapping; memoizing it per page
+        # turns the per-line radix walk into a dict hit (same PA arithmetic
+        # as Mapping.translate on an in-range address).
+        mappings: dict = {}
         for line in seen_lines:
-            llc.access(page_table.translate(line << 6))
+            va = line << 6
+            page = line >> 6
+            mapping = mappings.get(page)
+            if mapping is None:
+                mapping = mappings[page] = lookup(va)
+            llc_access(mapping.physical_base + (va - mapping.virtual_base))
 
     def arm_faults(self, plan) -> None:
         """Attach a :class:`~repro.resilience.faults.FaultPlan`.
@@ -416,124 +427,274 @@ class SystemSimulator:
             # switch; vivt_flush_interval models the OS scheduling quantum
             # even when no explicit context-switch interval is configured.
             cs_interval = config.vivt_flush_interval
+        splinter_interval = config.splinter_interval
+        promote_interval = config.promote_interval
         warmup_end = self._warmup_end
         addresses = self.trace.addresses
         writes = self.trace.writes
-        cores = self.trace.cores
+        trace_cores = self.trace.cores
         gaps = self.trace.gaps
         if checkpoint_path is not None and checkpoint_interval is None:
             checkpoint_interval = 10_000
         index = self._next_index
         stop = min(stop, len(addresses))
-        while index < stop:
-            if self._fault_plan is not None:
-                applied = self._fault_plan.apply(self, index)
-                if applied:
-                    self._faults_injected.extend(applied)
-                # A fault may have truncated the trace in place.
-                if index >= len(addresses):
-                    break
-            va = addresses[index]
-            is_write = writes[index]
-            core_id = cores[index]
-            gap = gaps[index]
-            if index == warmup_end and index > 0:
-                self.reset_measurements()
-            self._measured_references += 1
-            core = self.cores[core_id]
-            l1 = self.l1s[core_id]
-            core.advance(gap)
 
-            translation = self._translate(core_id, va)
-            self.energy.record_tlb_lookup(
-                1 if translation.level == "l1" else 2)
-            if is_seesaw:
-                self.energy.record_tft_lookup()
-            pa = translation.physical_address
-            if translation.is_superpage:
-                self._superpage_references += 1
+        # ------------------------------------------------ hoisted hot state
+        # Everything below is loop-invariant except ``breakdown`` (the
+        # energy accumulator object is *replaced* by reset_measurements at
+        # the warmup boundary, so it is re-fetched there) and the fault
+        # plan (armed between runs, never mid-run).  The inlined energy
+        # accumulations reproduce the EnergyAccountant.record_* arithmetic
+        # term for term, so every float lands bit-identically.
+        cores = self.cores
+        l1s = self.l1s
+        tlbs = self.tlbs
+        schedulers = self.schedulers
+        fabric = self.fabric
+        hierarchy = self.hierarchy
+        manager = self.manager
+        fault_plan = self._fault_plan
+        energy = self.energy
+        breakdown = energy.breakdown
+        lookup_energy = energy._lookup_energy
+        fill_energy = lookup_energy[1]         # record_l1_fill(1)
+        tlb_nj_1 = energy.tlb_lookup_nj        # tlb_lookup_nj * 1 is exact
+        tlb_nj_2 = energy.tlb_lookup_nj * 2
+        tft_nj = energy.tft_lookup_nj
+        l2_nj = energy.l2_access_nj
+        llc_nj = energy.llc_access_nj
+        dram_nj = energy.dram_access_nj
+        is_vivt = tuple(isinstance(l1, VivtL1Cache) for l1 in l1s)
+        has_fabric = fabric is not None
+        # Scheduler scarcity inputs: superpage_l1_valid_entries() reduces
+        # to the 2MB L1 TLB's O(1) resident counter and the capacity is
+        # fixed, so the per-hit method chain is flattened to reads.
+        if any(s is not None for s in schedulers):
+            superpage_tlbs = tuple(t.l1_2mb for t in tlbs)
+            # Per-core scheduler constants for the inlined hit path below
+            # (exact arithmetic of SchedulerModel.assume_fast /
+            # effective_hit_latency: the scarcity comparison uses the same
+            # precomputed float product).
+            sched_adaptive = tuple(
+                s is not None and s.policy is HitSpeculationPolicy.ADAPTIVE
+                for s in schedulers)
+            sched_always_fast = tuple(
+                s is not None
+                and s.policy is HitSpeculationPolicy.ALWAYS_FAST
+                for s in schedulers)
+            sched_threshold = tuple(
+                (tlb.entries * s.scarcity_threshold if s is not None else 0.0)
+                for s, tlb in zip(schedulers, superpage_tlbs))
+            sched_fast = tuple(
+                (s.fast_cycles if s is not None else 0) for s in schedulers)
+            sched_slow = tuple(
+                (s.slow_cycles if s is not None else 0) for s in schedulers)
+            sched_penalty = tuple(
+                (s.squash_penalty_cycles if s is not None else 0)
+                for s in schedulers)
+        else:
+            superpage_tlbs = ()
+            sched_adaptive = sched_always_fast = sched_threshold = ()
+            sched_fast = sched_slow = sched_penalty = ()
+        # Per-core stall memos keyed by the integer total latency (split by
+        # hit/miss so no per-reference key tuple is built); memory_stall is
+        # pure in (hit, latency) for fixed core parameters.
+        hit_stalls = tuple({} for _ in cores)
+        miss_stalls = tuple({} for _ in cores)
 
-            result = l1.access(va, pa, translation.page_size,
-                               is_write=is_write)
-            self.energy.record_l1_lookup(result.ways_probed)
-            # TLB latency beyond the one overlapped L1-TLB cycle stalls the
-            # physical tag compare.
-            extra_tlb = max(0, translation.latency_cycles - 1)
+        def _next_fire(start: int, interval: Optional[int],
+                       phase: int) -> float:
+            """First index >= start with index % interval == phase
+            (inf when the interval is disabled): turns the per-iteration
+            modulo checks into integer comparisons."""
+            if not interval:
+                return float("inf")
+            offset = (phase - start) % interval
+            return start + offset
 
-            scheduler = self.schedulers[core_id]
-            if result.hit:
-                if scheduler is not None:
-                    tlb = self.tlbs[core_id]
-                    assumed_fast = scheduler.assume_fast(
-                        tlb.superpage_l1_valid_entries(),
-                        tlb.superpage_l1_capacity())
-                    outcome = scheduler.resolve_hit(assumed_fast,
-                                                    result.latency_cycles)
-                    latency = outcome.effective_latency_cycles
-                else:
-                    latency = result.latency_cycles
-                core.account_memory(True, latency + extra_tlb)
-                if is_write and self.fabric is not None \
-                        and self.fabric.sharer_count(pa) > 1:
-                    self.fabric.cpu_write(core_id, pa)
-            else:
-                miss = self.hierarchy.service_miss(pa, is_write=is_write)
-                if miss.llc_accessed:
-                    self.energy.record_llc_access()
-                if miss.l2_accessed:
-                    self.energy.record_l2_access()
-                if miss.dram_accessed:
-                    self.energy.record_dram_access()
-                if self.fabric is not None:
-                    if is_write:
-                        self.fabric.cpu_write(core_id, pa)
+        probe_next = _next_fire(index, probe_interval,
+                                (probe_interval or 1) - 1)
+        cs_next = _next_fire(index, cs_interval, (cs_interval or 1) - 1)
+        splinter_next = _next_fire(index, splinter_interval,
+                                   (splinter_interval or 1) - 1)
+        promote_next = _next_fire(index, promote_interval,
+                                  (promote_interval or 1) - 1)
+        # The checkpoint check runs on the post-increment index.
+        checkpoint_next = (_next_fire(index + 1, checkpoint_interval, 0)
+                           if checkpoint_path is not None else float("inf"))
+
+        # Reference counters are accumulated in locals and flushed back to
+        # the instance at every point the loop cedes control to code that
+        # can observe them (warmup reset, in-loop checkpoint, loop exit).
+        measured = self._measured_references
+        superpage_refs = self._superpage_references
+        recent = self._recent_lines
+
+        try:
+            while index < stop:
+                if fault_plan is not None:
+                    applied = fault_plan.apply(self, index)
+                    if applied:
+                        self._faults_injected.extend(applied)
+                    # A fault may have truncated the trace in place.
+                    if index >= len(addresses):
+                        break
+                va = addresses[index]
+                is_write = writes[index]
+                core_id = trace_cores[index]
+                gap = gaps[index]
+                if index == warmup_end and index > 0:
+                    self.reset_measurements()
+                    breakdown = energy.breakdown
+                    measured = 0
+                    superpage_refs = 0
+                measured += 1
+                core = cores[core_id]
+                l1 = l1s[core_id]
+                # Inlined CoreModel.advance (same arithmetic, term for term).
+                core_stats = core.stats
+                instructions = gap + 1
+                core_stats.instructions += instructions
+                core_stats.cycles += instructions / core.issue_width
+                core_stats.memory_references += 1
+
+                tlb = tlbs[core_id]
+                try:
+                    pa, page_size, level, tlb_latency = tlb.translate_raw(va)
+                except TranslationFault:
+                    # Demand-page, then retry through the same hierarchy.
+                    manager.touch(va)
+                    pa, page_size, level, tlb_latency = tlb.translate_raw(va)
+                breakdown.tlb_nj += (tlb_nj_1 if level == "l1" else tlb_nj_2)
+                if is_seesaw:
+                    breakdown.tft_nj += tft_nj
+                if page_size.is_superpage:
+                    superpage_refs += 1
+
+                (hit, l1_latency, ways_probed, _fast_path, _tft_hit,
+                 _wp_correct, miss_detect) = l1.access_raw(
+                    va, pa, page_size, is_write)
+                breakdown.l1_cpu_lookup_nj += lookup_energy[ways_probed]
+                # TLB latency beyond the one overlapped L1-TLB cycle stalls the
+                # physical tag compare.
+                extra_tlb = tlb_latency - 1
+                if extra_tlb < 0:
+                    extra_tlb = 0
+
+                scheduler = schedulers[core_id]
+                if hit:
+                    if scheduler is not None:
+                        # Inlined SchedulerModel.assume_fast +
+                        # effective_hit_latency (same stat updates and
+                        # arithmetic, term for term).
+                        sstats = scheduler.stats
+                        if sched_adaptive[core_id]:
+                            assumed_fast = (
+                                superpage_tlbs[core_id]._resident
+                                >= sched_threshold[core_id])
+                        else:
+                            assumed_fast = sched_always_fast[core_id]
+                        if assumed_fast:
+                            sstats.fast_assumptions += 1
+                            assumed = sched_fast[core_id]
+                        else:
+                            sstats.slow_assumptions += 1
+                            assumed = sched_slow[core_id]
+                        if l1_latency > assumed:
+                            penalty = l1_latency - assumed
+                            if penalty > sched_penalty[core_id]:
+                                penalty = sched_penalty[core_id]
+                            sstats.squashes += 1
+                            sstats.squash_cycles += penalty
+                            latency = l1_latency + penalty
+                        else:
+                            latency = (assumed if assumed > l1_latency
+                                       else l1_latency)
                     else:
-                        self.fabric.cpu_read(core_id, pa)
-                if isinstance(l1, VivtL1Cache):
-                    l1.fill(va, pa, translation.page_size, dirty=is_write)
+                        latency = l1_latency
+                    # Inlined CoreModel.account_memory (memoized stall).
+                    lat_key = latency + extra_tlb
+                    stall_cache = hit_stalls[core_id]
+                    stall = stall_cache.get(lat_key)
+                    if stall is None:
+                        stall = stall_cache[lat_key] = core.memory_stall(
+                            True, lat_key)
+                    core_stats.cycles += stall
+                    core_stats.stall_cycles += stall
+                    if is_write and has_fabric \
+                            and fabric.sharer_count(pa) > 1:
+                        fabric.cpu_write(core_id, pa)
                 else:
-                    l1.fill(pa, translation.page_size, dirty=is_write)
-                self.energy.record_l1_fill(1)
-                total = (result.miss_detect_cycles + miss.latency_cycles
-                         + extra_tlb)
-                core.account_memory(False, total)
+                    miss = hierarchy.service_miss(pa, is_write)
+                    if miss.llc_accessed:
+                        breakdown.llc_nj += llc_nj
+                    if miss.l2_accessed:
+                        breakdown.l2_nj += l2_nj
+                    if miss.dram_accessed:
+                        breakdown.dram_nj += dram_nj
+                    if has_fabric:
+                        if is_write:
+                            fabric.cpu_write(core_id, pa)
+                        else:
+                            fabric.cpu_read(core_id, pa)
+                    if is_vivt[core_id]:
+                        l1.fill(va, pa, page_size, is_write)
+                    else:
+                        l1.fill(pa, page_size, is_write)
+                    breakdown.l1_fill_nj += fill_energy
+                    total = miss_detect + miss.latency_cycles + extra_tlb
+                    # Inlined CoreModel.account_memory (memoized stall).
+                    stall_cache = miss_stalls[core_id]
+                    stall = stall_cache.get(total)
+                    if stall is None:
+                        stall = stall_cache[total] = core.memory_stall(
+                            False, total)
+                    core_stats.cycles += stall
+                    core_stats.stall_cycles += stall
 
-            line = pa & ~63
-            recent = self._recent_lines
-            if len(recent) < 64:
-                recent.append(line)
-            else:
-                recent[index & 63] = line
-            if probe_interval and index % probe_interval == probe_interval - 1:
-                self._system_probe()
-            if cs_interval and index % cs_interval == cs_interval - 1:
-                for cache in self.l1s:
-                    if isinstance(cache, SeesawL1Cache):
-                        cache.on_context_switch()
-                    elif isinstance(cache, VivtL1Cache):
-                        cache.flush()     # no ASID tags: full flush
-            if (config.splinter_interval
-                    and index % config.splinter_interval
-                    == config.splinter_interval - 1):
-                self._churn_splinter()
-            if (config.promote_interval
-                    and index % config.promote_interval
-                    == config.promote_interval - 1):
-                self._churn_promote()
-            index += 1
-            if (checkpoint_interval
-                    and index % checkpoint_interval == 0
-                    and checkpoint_path is not None):
-                self._next_index = index
-                from repro.resilience.checkpoint import save_checkpoint
-                save_checkpoint(checkpoint_path, self)
+                line = pa & ~63
+                if len(recent) < 64:
+                    recent.append(line)
+                else:
+                    recent[index & 63] = line
+                if index == probe_next:
+                    probe_next += probe_interval
+                    self._system_probe()
+                if index == cs_next:
+                    cs_next += cs_interval
+                    for cache in l1s:
+                        if isinstance(cache, SeesawL1Cache):
+                            cache.on_context_switch()
+                        elif isinstance(cache, VivtL1Cache):
+                            cache.flush()     # no ASID tags: full flush
+                if index == splinter_next:
+                    splinter_next += splinter_interval
+                    self._churn_splinter()
+                if index == promote_next:
+                    promote_next += promote_interval
+                    self._churn_promote()
+                index += 1
+                if index == checkpoint_next:
+                    checkpoint_next += checkpoint_interval
+                    self._next_index = index
+                    self._measured_references = measured
+                    self._superpage_references = superpage_refs
+                    from repro.resilience.checkpoint import save_checkpoint
+                    save_checkpoint(checkpoint_path, self)
+        finally:
+            # Counters stay coherent even when a sanitizer or fault
+            # aborts the loop with an exception.
+            self._measured_references = measured
+            self._superpage_references = superpage_refs
         self._next_index = index
         return index
 
     # ---------------------------------------------------- snapshot / restore
 
-    #: bump when the snapshot payload layout changes.
-    SNAPSHOT_VERSION = 1
+    #: bump when the snapshot payload layout changes.  v2: slotted
+    #: TLBEntry/CacheLine/L1AccessResult and precomputed geometry fields
+    #: make v1 payloads unloadable.
+    SNAPSHOT_VERSION = 2
 
     def snapshot(self) -> bytes:
         """Serialize the complete mutable simulation state.

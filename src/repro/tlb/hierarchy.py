@@ -9,8 +9,7 @@ exposes a fill callback the SEESAW cache registers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.devtools import sanitize as _sanitize
 from repro.mem.address import PageSize
@@ -23,15 +22,25 @@ from repro.tlb.walker import PageWalker
 FillHook = Callable[[TLBEntry], None]
 
 
-@dataclass
 class TranslationResult:
-    """Outcome of a full hierarchy translation."""
+    """Outcome of a full hierarchy translation (one allocated per
+    reference, hence slotted rather than a dataclass)."""
 
-    physical_address: int
-    page_size: PageSize
-    #: where the translation was found: "l1", "l2", or "walk"
-    level: str
-    latency_cycles: int
+    __slots__ = ("physical_address", "page_size", "level", "latency_cycles")
+
+    def __init__(self, physical_address: int, page_size: PageSize,
+                 level: str, latency_cycles: int) -> None:
+        self.physical_address = physical_address
+        self.page_size = page_size
+        #: where the translation was found: "l1", "l2", or "walk"
+        self.level = level
+        self.latency_cycles = latency_cycles
+
+    def __repr__(self) -> str:
+        return (f"TranslationResult(physical_address="
+                f"{self.physical_address:#x}, page_size={self.page_size!r}, "
+                f"level={self.level!r}, "
+                f"latency_cycles={self.latency_cycles!r})")
 
     @property
     def is_superpage(self) -> bool:
@@ -102,10 +111,11 @@ class TLBHierarchy:
         """
         entry = self._l1_lookup(virtual_address, asid)
         if entry is not None:
-            offset = virtual_address & (int(entry.page_size) - 1)
+            size = entry.page_size
             result = TranslationResult(
-                physical_address=entry.physical_base() | offset,
-                page_size=entry.page_size,
+                physical_address=(entry.physical_page << size.offset_bits)
+                                 | (virtual_address & size.offset_mask),
+                page_size=size,
                 level="l1",
                 latency_cycles=self.l1_latency,
             )
@@ -114,19 +124,35 @@ class TLBHierarchy:
                     self.walker.page_table, virtual_address,
                     result.physical_address, level="l1")
             return result
+        return self._translate_miss(virtual_address, asid)
+
+    def translate_raw(self, virtual_address: int, asid: int = 0
+                      ) -> "tuple":
+        """Hot-loop variant of :meth:`translate` returning the plain tuple
+        ``(physical_address, page_size, level, latency_cycles)`` so the
+        per-reference path allocates no result object."""
+        result = self.translate(virtual_address, asid)
+        return (result.physical_address, result.page_size, result.level,
+                result.latency_cycles)
+
+    def _translate_miss(self, virtual_address: int,
+                        asid: int) -> TranslationResult:
+        """L1-miss continuation of :meth:`translate`: L2 TLB, then walk."""
         latency = self.l1_latency
         if self.l2_tlb is not None:
             latency += self.l2_latency
             l2_entry = self.l2_tlb.lookup(virtual_address, asid)
             if l2_entry is not None:
+                size = l2_entry.page_size
                 filled = TLBEntry(l2_entry.virtual_page, l2_entry.physical_page,
-                                  l2_entry.page_size, asid)
+                                  size, asid)
                 self._l1_fill(filled)
                 self._fire_fill(filled)
-                offset = virtual_address & (int(l2_entry.page_size) - 1)
                 result = TranslationResult(
-                    physical_address=l2_entry.physical_base() | offset,
-                    page_size=l2_entry.page_size,
+                    physical_address=(l2_entry.physical_page
+                                      << size.offset_bits)
+                                     | (virtual_address & size.offset_mask),
+                    page_size=size,
                     level="l2",
                     latency_cycles=latency,
                 )
@@ -187,28 +213,109 @@ class SplitTLBHierarchy(TLBHierarchy):
             self.l1_1gb = TLB(l1_1gb_entries,
                               min(l1_1gb_ways, l1_1gb_entries),
                               (PageSize.SUPER_1GB,), name="l1-1gb")
+        self._rebuild_l1_maps()
+
+    def _rebuild_l1_maps(self) -> None:
+        """(Re)derive the probe list and fill map from the L1 TLB fields.
+
+        Called from ``__init__`` and after unpickling — the derived
+        structures alias the TLB objects, so they must be rebuilt whenever
+        the fields are replaced wholesale.
+        """
+        self._l1_probe_order: List[TLB] = [self.l1_4kb, self.l1_2mb]
+        if self.l1_1gb is not None:
+            self._l1_probe_order.append(self.l1_1gb)
+        self._l1_by_size: Dict[PageSize, Optional[TLB]] = {
+            PageSize.BASE_4KB: self.l1_4kb,
+            PageSize.SUPER_2MB: self.l1_2mb,
+            PageSize.SUPER_1GB: self.l1_1gb,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebuild_l1_maps()
 
     def _l1_tlbs(self) -> List[TLB]:
-        tlbs = [self.l1_4kb, self.l1_2mb]
-        if self.l1_1gb is not None:
-            tlbs.append(self.l1_1gb)
-        return tlbs
+        return list(self._l1_probe_order)
 
     def _l1_lookup(self, virtual_address: int, asid: int) -> Optional[TLBEntry]:
-        # Hardware probes the split L1 TLBs in parallel; at most one can hit.
-        hit = None
-        for tlb in self._l1_tlbs():
-            entry = tlb.lookup(virtual_address, asid)
+        # Hardware probes the split L1 TLBs in parallel; at most one can
+        # hit.  Unrolled (every structure is still probed, so stats match
+        # the parallel-probe model exactly).
+        hit = self.l1_4kb.lookup(virtual_address, asid)
+        entry = self.l1_2mb.lookup(virtual_address, asid)
+        if entry is not None:
+            hit = entry
+        if self.l1_1gb is not None:
+            entry = self.l1_1gb.lookup(virtual_address, asid)
             if entry is not None:
                 hit = entry
         return hit
 
+    def translate(self, virtual_address: int,
+                  asid: int = 0) -> TranslationResult:
+        pa, size, level, latency = self.translate_raw(virtual_address, asid)
+        result = TranslationResult.__new__(TranslationResult)
+        result.physical_address = pa
+        result.page_size = size
+        result.level = level
+        result.latency_cycles = latency
+        return result
+
+    def translate_raw(self, virtual_address: int, asid: int = 0
+                      ) -> "tuple":
+        """Hot-path specialization of the base :meth:`TLBHierarchy.translate`,
+        returning ``(physical_address, page_size, level, latency_cycles)``.
+
+        The split L1 TLBs are single-size structures, so their lookups are
+        inlined here (same probe order, LRU moves, and stat updates as
+        :meth:`TLB.lookup`'s single-size path — the generic method remains
+        the reference implementation and the unit-tested one).  Misses fall
+        through to the shared :meth:`_translate_miss`.
+        """
+        hit = None
+        tlb = self.l1_4kb
+        vpn = virtual_address >> tlb._single_offset
+        entries = tlb._sets[vpn & tlb._set_mask]
+        for position, entry in enumerate(entries):
+            if (entry.virtual_page == vpn and entry.asid == asid
+                    and entry.valid):
+                entries.append(entries.pop(position))
+                tlb.stats.hits += 1
+                hit = entry
+                break
+        else:
+            tlb.stats.misses += 1
+        tlb = self.l1_2mb
+        vpn = virtual_address >> tlb._single_offset
+        entries = tlb._sets[vpn & tlb._set_mask]
+        for position, entry in enumerate(entries):
+            if (entry.virtual_page == vpn and entry.asid == asid
+                    and entry.valid):
+                entries.append(entries.pop(position))
+                tlb.stats.hits += 1
+                hit = entry
+                break
+        else:
+            tlb.stats.misses += 1
+        if self.l1_1gb is not None:
+            entry = self.l1_1gb.lookup(virtual_address, asid)
+            if entry is not None:
+                hit = entry
+        if hit is not None:
+            size = hit.page_size
+            pa = ((hit.physical_page << size.offset_bits)
+                  | (virtual_address & size.offset_mask))
+            if self._sanitize:
+                _sanitize.check_translation(
+                    self.walker.page_table, virtual_address, pa, level="l1")
+            return pa, size, "l1", self.l1_latency
+        result = self._translate_miss(virtual_address, asid)
+        return (result.physical_address, result.page_size, result.level,
+                result.latency_cycles)
+
     def _l1_fill(self, entry: TLBEntry) -> None:
-        table = {
-            PageSize.BASE_4KB: self.l1_4kb,
-            PageSize.SUPER_2MB: self.l1_2mb,
-            PageSize.SUPER_1GB: self.l1_1gb,
-        }[entry.page_size]
+        table = self._l1_by_size[entry.page_size]
         if table is not None:
             table.fill(entry.virtual_page, entry.physical_page,
                        entry.page_size, entry.asid)

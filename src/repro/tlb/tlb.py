@@ -15,15 +15,40 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.mem.address import PageSize
 
 
-@dataclass
 class TLBEntry:
-    """One cached translation."""
+    """One cached translation.
 
-    virtual_page: int          # VPN for this entry's page size
-    physical_page: int         # PPN
-    page_size: PageSize
-    asid: int = 0
-    valid: bool = True
+    A slotted plain class rather than a dataclass: entries are compared,
+    created and field-read on the translation fast path, and ``__slots__``
+    keeps both allocation and attribute access cheap.
+    """
+
+    __slots__ = ("virtual_page", "physical_page", "page_size", "asid",
+                 "valid")
+
+    def __init__(self, virtual_page: int, physical_page: int,
+                 page_size: PageSize, asid: int = 0,
+                 valid: bool = True) -> None:
+        self.virtual_page = virtual_page      # VPN for this entry's page size
+        self.physical_page = physical_page    # PPN
+        self.page_size = page_size
+        self.asid = asid
+        self.valid = valid
+
+    def __repr__(self) -> str:
+        return (f"TLBEntry(virtual_page={self.virtual_page!r}, "
+                f"physical_page={self.physical_page!r}, "
+                f"page_size={self.page_size!r}, asid={self.asid!r}, "
+                f"valid={self.valid!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TLBEntry):
+            return NotImplemented
+        return (self.virtual_page == other.virtual_page
+                and self.physical_page == other.physical_page
+                and self.page_size is other.page_size
+                and self.asid == other.asid
+                and self.valid == other.valid)
 
     def physical_base(self) -> int:
         """Physical base address of the mapped page."""
@@ -79,11 +104,16 @@ class TLB:
         # Running count of resident entries, so the scheduler's per-access
         # scarcity check (paper §IV-B3) is O(1).
         self._resident = 0
+        self._set_mask = self.num_sets - 1
+        # Split (single-size) TLBs are the per-reference common case; their
+        # lookups skip the per-size probe loop entirely.
+        self._single_offset = (self.page_sizes[0].offset_bits
+                               if len(self.page_sizes) == 1 else None)
 
     # --------------------------------------------------------------- indexing
 
     def _set_index(self, virtual_page: int) -> int:
-        return virtual_page & (self.num_sets - 1)
+        return virtual_page & self._set_mask
 
     def _candidate_sets(self, virtual_address: int,
                         asid: int) -> Iterable[Tuple[int, PageSize]]:
@@ -105,24 +135,37 @@ class TLB:
         Updates LRU order and hit/miss stats.  Returns the entry on hit,
         ``None`` on miss.
         """
-        for set_index, size in self._candidate_sets(virtual_address, asid):
-            vpn = virtual_address >> size.offset_bits
-            entries = self._sets[set_index]
+        single_offset = self._single_offset
+        if single_offset is not None:
+            # Single-size TLB: one set to probe, no page-size check needed
+            # (fills reject foreign sizes).
+            vpn = virtual_address >> single_offset
+            entries = self._sets[vpn & self._set_mask]
             for position, entry in enumerate(entries):
-                if (entry.valid and entry.page_size is size
-                        and entry.virtual_page == vpn
-                        and entry.asid == asid):
+                if (entry.virtual_page == vpn and entry.asid == asid
+                        and entry.valid):
                     entries.append(entries.pop(position))
                     self.stats.hits += 1
                     return entry
+        else:
+            for size in self.page_sizes:
+                vpn = virtual_address >> size.offset_bits
+                entries = self._sets[vpn & self._set_mask]
+                for position, entry in enumerate(entries):
+                    if (entry.valid and entry.page_size is size
+                            and entry.virtual_page == vpn
+                            and entry.asid == asid):
+                        entries.append(entries.pop(position))
+                        self.stats.hits += 1
+                        return entry
         self.stats.misses += 1
         return None
 
     def probe(self, virtual_address: int, asid: int = 0) -> Optional[TLBEntry]:
         """Like :meth:`lookup` but with no stats or LRU side effects."""
-        for set_index, size in self._candidate_sets(virtual_address, asid):
+        for size in self.page_sizes:
             vpn = virtual_address >> size.offset_bits
-            for entry in self._sets[set_index]:
+            for entry in self._sets[vpn & self._set_mask]:
                 if (entry.valid and entry.page_size is size
                         and entry.virtual_page == vpn
                         and entry.asid == asid):

@@ -339,3 +339,32 @@ def build_trace(spec: WorkloadSpec, length: int = 100_000,
     writes = (rng.random(n) < spec.write_fraction).tolist()
     gaps = rng.poisson(spec.mean_gap, size=n).tolist()
     return MemoryTrace(spec.name, addresses, writes, cores, gaps)
+
+
+# -------------------------------------------------------------- trace memo
+
+#: Memoized traces for :func:`cached_trace`, keyed by (workload, length,
+#: seed).  Small: a sweep visits designs consecutively per workload, so one
+#: or two live entries cover the reuse pattern.
+_TRACE_MEMO: Dict[Tuple[str, int, int], MemoryTrace] = {}
+_TRACE_MEMO_MAX = 4
+
+
+def cached_trace(workload: str, length: int, seed: int = 42) -> MemoryTrace:
+    """Memoized :func:`build_trace` for a *named* workload.
+
+    ``build_trace`` is deterministic in ``(spec, length, seed)`` and the
+    simulator treats traces as read-only, so sweep cells that differ only
+    in cache design (the same row of a workload x design matrix) can share
+    one trace object instead of regenerating it.  Callers that mutate the
+    trace — e.g. the fault injector's ``trace-truncate`` — must use
+    :func:`build_trace` directly.
+    """
+    key = (workload, length, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = build_trace(get_workload(workload), length=length, seed=seed)
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace

@@ -4,6 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the frozen fixtures under tests/golden/ from the "
+             "current simulator instead of asserting against them")
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden fixtures in place."""
+    return request.config.getoption("--update-golden")
+
 from repro.cache.vipt import L1Timing
 from repro.mem.address import PageSize
 from repro.mem.os_policy import MemoryManager, THPPolicy

@@ -1,0 +1,80 @@
+"""Golden regression tests: frozen end-to-end simulation results.
+
+Each fixture under ``tests/golden/`` is the full
+``SimulationResult.to_dict()`` of one (design, workload) cell at a fixed
+seed and trace length, committed before the hot-path rewrite.  The tests
+assert the simulator still produces *bit-identical* results — every
+counter, every float — so performance work (memoized address math,
+slotted cache lines, batched stat updates, the parallel sweep engine)
+can never silently change behaviour.
+
+Regenerate deliberately with::
+
+    pytest tests/test_golden.py --update-golden
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.experiment import run_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: fixed scale of every golden cell — changing either invalidates the lot.
+TRACE_LENGTH = 6_000
+SEED = 42
+
+DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
+WORKLOADS = ("redis", "gups")
+CASES = [(design, workload) for design in DESIGNS for workload in WORKLOADS]
+
+
+def golden_path(design: str, workload: str) -> Path:
+    return GOLDEN_DIR / f"{design}-{workload}.json"
+
+
+def run_cell(design: str, workload: str) -> dict:
+    """Simulate one golden cell and return its JSON-normalized payload."""
+    result = run_workload(SystemConfig(l1_design=design, seed=SEED),
+                          workload, trace_length=TRACE_LENGTH, seed=SEED)
+    # Round-trip through JSON so the comparison sees exactly what the
+    # fixture file stores (floats survive via repr round-tripping).
+    return json.loads(json.dumps(result.to_dict(), sort_keys=True))
+
+
+def write_fixture(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+@pytest.mark.parametrize("design,workload", CASES,
+                         ids=[f"{d}-{w}" for d, w in CASES])
+def test_golden_cell(design, workload, update_golden):
+    payload = run_cell(design, workload)
+    path = golden_path(design, workload)
+    if update_golden:
+        write_fixture(path, payload)
+        return
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`pytest tests/test_golden.py --update-golden`")
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == expected, (
+        f"({design}, {workload}) diverged from its golden fixture — if the "
+        f"change is intentional, regenerate with --update-golden and commit "
+        f"the diff")
+
+
+def test_golden_fixtures_complete():
+    """Every expected fixture file exists (no silently skipped designs)."""
+    missing = [str(golden_path(d, w)) for d, w in CASES
+               if not golden_path(d, w).exists()]
+    assert not missing, f"missing golden fixtures: {missing}"

@@ -7,15 +7,30 @@ fill/write/probe sequences, and the coherence directory against the L1s it
 tracks.
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
+import os
 
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cache.basic import SetAssociativeCache
 from repro.cache.vipt import L1Timing, ViptL1Cache
 from repro.cache.vivt import VivtL1Cache
 from repro.coherence.directory import Directory
 from repro.mem.address import PAGE_SIZE_2MB, PAGE_SIZE_4KB, PageSize
 from repro.mem.os_policy import MemoryManager, THPPolicy
 from repro.mem.physical import PhysicalMemory
+from repro.mem.page_table import PageTable
+from repro.tlb.hierarchy import SplitTLBHierarchy, TLBHierarchy
+
+# Shared Hypothesis profiles: "repro" (default) keeps CI fast; select
+# "repro-thorough" via REPRO_HYPOTHESIS_PROFILE for deeper local runs.
+settings.register_profile(
+    "repro", max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "repro-thorough", max_examples=200, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro"))
 
 TIMING = L1Timing(base_hit_cycles=2, super_hit_cycles=1)
 
@@ -160,3 +175,136 @@ class TestDirectoryInvariants:
             address = 0x1000 + line_index * 64
             directory.cpu_read(core, address)
             assert 1 <= directory.sharer_count(address) <= 4
+
+
+class TestAddressDecomposition:
+    """Round-trip properties of the precomputed index/tag/line masks.
+
+    The hot loop decomposes addresses with ``_index_mask`` /
+    ``_tag_shift`` / ``_line_mask`` folded at construction; these
+    properties pin that the decomposition is lossless and geometry-true
+    for every cache shape the simulator instantiates.
+    """
+
+    GEOMETRIES = [(32 * 1024, 8, 64), (16 * 1024, 4, 64),
+                  (4 * 1024, 1, 64), (2 * 1024 * 1024, 16, 64)]
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.sampled_from(GEOMETRIES))
+    def test_decompose_recompose_round_trip(self, address, geometry):
+        size_bytes, ways, line_size = geometry
+        store = SetAssociativeCache(size_bytes, ways, line_size=line_size)
+        tag = store.tag_of(address)
+        index = store.set_index(address)
+        offset = address & (line_size - 1)
+        assert 0 <= index < store.num_sets
+        recomposed = ((tag << store._tag_shift)
+                      | (index << store.offset_bits) | offset)
+        assert recomposed == address
+        assert store.line_address(address) == address - offset
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.integers(min_value=0, max_value=63))
+    def test_all_bytes_of_a_line_decompose_identically(self, address,
+                                                       byte_offset):
+        store = SetAssociativeCache(32 * 1024, 8)
+        base = store.line_address(address)
+        sibling = base + byte_offset
+        assert store.set_index(sibling) == store.set_index(base)
+        assert store.tag_of(sibling) == store.tag_of(base)
+        assert store.line_address(sibling) == base
+
+
+class TestOptimizedCachePathEquivalence:
+    """The single-pass ``fill`` fast path (``candidate_ways is None``)
+    must be indistinguishable — stats, line contents, LRU order — from
+    the explicit find / first_invalid / victim composition it replaced,
+    which still runs when candidate ways are constrained."""
+
+    @given(st.lists(st.tuples(st.sampled_from(["probe", "fill"]),
+                              st.integers(min_value=0, max_value=255),
+                              st.booleans()),
+                    min_size=1, max_size=60))
+    def test_fill_fast_path_matches_reference_composition(self, operations):
+        fast = SetAssociativeCache(4 * 1024, 4)   # 16 sets: heavy conflicts
+        reference = SetAssociativeCache(4 * 1024, 4)
+        all_ways = list(range(4))
+        for op, line_number, flag in operations:
+            address = line_number * 64
+            if op == "probe":
+                assert (fast.probe(address, is_write=flag)
+                        == reference.probe(address, is_write=flag))
+            else:
+                fast.fill(address, dirty=flag)
+                reference.fill(address, dirty=flag,
+                               candidate_ways=all_ways)
+        assert fast.stats == reference.stats
+        assert set(fast._sets) == set(reference._sets)
+        for index, cache_set in fast._sets.items():
+            twin = reference._sets[index]
+            assert cache_set.policy._order == twin.policy._order
+            for line, other in zip(cache_set.lines, twin.lines):
+                assert ((line.valid, line.tag, line.dirty,
+                         line.from_superpage, line.line_address)
+                        == (other.valid, other.tag, other.dirty,
+                            other.from_superpage, other.line_address))
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=511),
+                              st.booleans()),
+                    min_size=1, max_size=80))
+    def test_vipt_access_raw_matches_store_probe_for_base_pages(
+            self, references):
+        """For 4KB pages (no TFT involvement) the inlined probe inside
+        ``access_raw`` must produce the exact hit stream and counters of
+        the unit-tested ``SetAssociativeCache.probe``."""
+        vipt = ViptL1Cache(32 * 1024, TIMING)
+        reference = SetAssociativeCache(vipt.size_bytes, vipt.ways)
+        page = PageSize.BASE_4KB
+        for line_number, is_write in references:
+            address = line_number * 64
+            hit = vipt.access_raw(address, address, page, is_write)[0]
+            assert hit == reference.probe(address, is_write=is_write)
+            if not hit:
+                vipt.fill(address, page, dirty=is_write)
+                reference.fill(address, dirty=is_write)
+        assert vipt.stats.hits == reference.stats.hits
+        assert vipt.stats.misses == reference.stats.misses
+        assert vipt.stats.ways_probed == reference.stats.ways_probed
+
+
+class TestTranslateRawEquivalence:
+    """``SplitTLBHierarchy.translate_raw`` inlines the single-size L1 TLB
+    probes; the generic ``TLBHierarchy.translate`` remains the reference.
+    Driving twin hierarchies over one page table, the raw tuple and every
+    TLB counter must match reference behaviour on any access pattern."""
+
+    PAGES = ([(0x1000 * (i + 1), 0x9000 + i * 0x1000, PageSize.BASE_4KB)
+              for i in range(4)]
+             + [(0x4000_0000 + i * PAGE_SIZE_2MB,
+                 0x20_0000 * (i + 1), PageSize.SUPER_2MB)
+                for i in range(2)])
+
+    def _twins(self):
+        table = PageTable()
+        for virtual, physical, size in self.PAGES:
+            table.map(virtual, physical, size)
+        make = lambda: SplitTLBHierarchy(  # noqa: E731
+            table, l1_4kb_entries=4, l1_4kb_ways=2,
+            l1_2mb_entries=2, l1_2mb_ways=2, l2_entries=8)
+        return make(), make()
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=5),
+                              st.integers(min_value=0, max_value=4095)),
+                    min_size=1, max_size=60))
+    def test_raw_tuple_matches_generic_translate(self, accesses):
+        fast, reference = self._twins()
+        for page_index, offset in accesses:
+            virtual = self.PAGES[page_index][0] + offset
+            raw = fast.translate_raw(virtual)
+            result = TLBHierarchy.translate(reference, virtual)
+            assert raw == (result.physical_address, result.page_size,
+                           result.level, result.latency_cycles)
+        assert fast.l1_4kb.stats == reference.l1_4kb.stats
+        assert fast.l1_2mb.stats == reference.l1_2mb.stats
+        assert fast.l2_tlb.stats == reference.l2_tlb.stats
+        assert fast.walker.stats == reference.walker.stats
