@@ -12,6 +12,8 @@
   (``--isolate``/``--timeout``), parallel workers (``--jobs``), and
   fault injection (``--inject``);
 * ``resume``     — continue an interrupted journaled sweep;
+* ``doctor``     — validate a sweep journal or checkpoint and, with
+  ``--repair``, quarantine corrupt records and rebuild the journal;
 * ``bench``      — measure simulator throughput and stage latencies,
   emitting ``BENCH_perf.json`` with an optional regression gate
   (``--baseline``/``--max-regression``);
@@ -23,9 +25,19 @@ reproducible, and every simulating command accepts ``--sanitize`` to arm
 the runtime invariant sanitizer (see :mod:`repro.devtools.sanitize`) or
 ``--no-sanitize`` to force it off (overriding ``REPRO_SANITIZE``, e.g. to
 let a fault-injection run complete and flag the faults in its report).
+Parallel sweeps (``--jobs``) run supervised by default — worker
+heartbeats, hung-worker replacement, RSS watchdogs, a free-disk guard —
+tunable with ``--hung-after``/``--max-rss-mb``/``--min-free-mb`` and
+disabled by ``--no-supervise``; ``--chaos KIND@N[:BYTES]`` injects
+deterministic host faults (see :mod:`repro.resilience.chaos`) to
+exercise that machinery.
 
-Exit codes: 0 success; 1 a sweep completed but some cells failed (or lint
-found issues); 2 usage/configuration errors; 3 the sanitizer tripped.
+Exit codes: 0 success; 1 a sweep completed but some cells failed (or
+lint/doctor found issues); 2 usage/configuration errors (including
+unrepairable journals); 3 the sanitizer tripped; 4 a sweep paused
+cleanly (disk guard or journal write fault — ``repro resume``
+continues); 128+signum on SIGINT/SIGTERM (130/143) after flushing and
+canonicalizing the journal.
 """
 
 from __future__ import annotations
@@ -96,6 +108,49 @@ def _fault_plan_from_args(args: argparse.Namespace):
         return None
     from repro.resilience.faults import FaultPlan
     return FaultPlan.parse(specs)
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chaos", metavar="KIND@N[:BYTES]",
+                        action="append", default=None,
+                        help="inject a deterministic host fault "
+                             "(repeatable); kinds: worker-kill, "
+                             "journal-enospc, journal-eio, journal-torn, "
+                             "checkpoint-enospc, checkpoint-eio, "
+                             "checkpoint-torn, sigint, sigterm")
+    parser.add_argument("--no-supervise", action="store_true",
+                        help="disable worker heartbeats and watchdogs "
+                             "(parallel sweeps are supervised by default)")
+    parser.add_argument("--hung-after", metavar="SECONDS", type=float,
+                        default=30.0,
+                        help="kill and requeue a worker silent for this "
+                             "long (supervised parallel sweeps)")
+    parser.add_argument("--max-rss-mb", metavar="MB", type=float,
+                        default=None,
+                        help="per-worker RSS ceiling; breaches downshift "
+                             "--jobs before consuming the retry budget")
+    parser.add_argument("--min-free-mb", metavar="MB", type=float,
+                        default=32.0,
+                        help="pause the sweep (exit 4, resumable) when "
+                             "the journal's filesystem falls below this "
+                             "free-space floor")
+
+
+def _chaos_plan_from_args(args: argparse.Namespace):
+    specs = getattr(args, "chaos", None)
+    if not specs:
+        return None
+    from repro.resilience.chaos import HostFaultPlan
+    return HostFaultPlan.parse(specs)
+
+
+def _policy_from_args(args: argparse.Namespace):
+    if getattr(args, "no_supervise", False):
+        return None
+    from repro.resilience.supervisor import SupervisionPolicy
+    return SupervisionPolicy(hung_after_s=args.hung_after,
+                             max_rss_mb=args.max_rss_mb,
+                             min_free_mb=args.min_free_mb)
 
 
 def _config_from_args(args: argparse.Namespace,
@@ -221,38 +276,48 @@ def _print_sweep_report(report, baseline: str, design: str,
     if report.reused:
         print(f"resumed: {report.reused} cell(s) reused from the journal, "
               f"{report.executed} executed")
+    if report.paused:
+        from repro.resilience.errors import EXIT_PAUSED
+        print(f"PAUSED: {report.pause_reason}", file=sys.stderr)
+        if report.resume_hint:
+            print(f"resume with: {report.resume_hint}", file=sys.stderr)
+        return EXIT_PAUSED
     return 0 if report.ok else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _apply_sanitizer_override(args)
+    from repro.resilience import chaos
 
     names = args.workloads or list(WORKLOADS)
     jobs = args.jobs or 1
-    if jobs > 1:
-        from repro.perf.parallel import parallel_sweep
-        report = parallel_sweep(
-            _config_from_args(args), names,
-            trace_length=args.length, seed=args.seed,
-            designs=(args.baseline, args.design),
-            journal_path=args.journal,
-            resume=args.resume,
-            jobs=jobs,
-            timeout_s=args.timeout,
-            max_retries=args.retries,
-            fault_plan=_fault_plan_from_args(args))
-    else:
-        from repro.resilience.runner import resilient_sweep
-        report = resilient_sweep(
-            _config_from_args(args), names,
-            trace_length=args.length, seed=args.seed,
-            designs=(args.baseline, args.design),
-            journal_path=args.journal,
-            resume=args.resume,
-            isolate=args.isolate,
-            timeout_s=args.timeout,
-            max_retries=args.retries,
-            fault_plan=_fault_plan_from_args(args))
+    with chaos.armed(_chaos_plan_from_args(args)):
+        if jobs > 1:
+            from repro.perf.parallel import parallel_sweep
+            report = parallel_sweep(
+                _config_from_args(args), names,
+                trace_length=args.length, seed=args.seed,
+                designs=(args.baseline, args.design),
+                journal_path=args.journal,
+                resume=args.resume,
+                jobs=jobs,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                fault_plan=_fault_plan_from_args(args),
+                policy=_policy_from_args(args))
+        else:
+            from repro.resilience.runner import resilient_sweep
+            report = resilient_sweep(
+                _config_from_args(args), names,
+                trace_length=args.length, seed=args.seed,
+                designs=(args.baseline, args.design),
+                journal_path=args.journal,
+                resume=args.resume,
+                isolate=args.isolate,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                fault_plan=_fault_plan_from_args(args),
+                min_free_mb=args.min_free_mb)
     return _print_sweep_report(
         report, args.baseline, args.design,
         title=f"{args.design} vs {args.baseline} "
@@ -261,6 +326,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_resume(args: argparse.Namespace) -> int:
     """Continue an interrupted journaled sweep from its own header."""
+    from repro.resilience import chaos
     from repro.resilience.checkpoint import config_from_dict
     from repro.resilience.runner import SweepJournal, resilient_sweep
 
@@ -268,29 +334,68 @@ def cmd_resume(args: argparse.Namespace) -> int:
     config = config_from_dict(header["config"])
     designs = header["designs"]
     jobs = args.jobs or 1
-    if jobs > 1:
-        from repro.perf.parallel import parallel_sweep
-        report = parallel_sweep(
-            config, header["workloads"],
-            trace_length=header["trace_length"], seed=header["seed"],
-            designs=designs,
-            journal_path=args.journal, resume=True,
-            jobs=jobs, timeout_s=args.timeout,
-            max_retries=args.retries)
-    else:
-        report = resilient_sweep(
-            config, header["workloads"],
-            trace_length=header["trace_length"], seed=header["seed"],
-            designs=designs,
-            journal_path=args.journal, resume=True,
-            isolate=args.isolate, timeout_s=args.timeout,
-            max_retries=args.retries)
+    with chaos.armed(_chaos_plan_from_args(args)):
+        if jobs > 1:
+            from repro.perf.parallel import parallel_sweep
+            report = parallel_sweep(
+                config, header["workloads"],
+                trace_length=header["trace_length"], seed=header["seed"],
+                designs=designs,
+                journal_path=args.journal, resume=True,
+                jobs=jobs, timeout_s=args.timeout,
+                max_retries=args.retries,
+                policy=_policy_from_args(args))
+        else:
+            report = resilient_sweep(
+                config, header["workloads"],
+                trace_length=header["trace_length"], seed=header["seed"],
+                designs=designs,
+                journal_path=args.journal, resume=True,
+                isolate=args.isolate, timeout_s=args.timeout,
+                max_retries=args.retries,
+                min_free_mb=args.min_free_mb)
     baseline = designs[0]
     design = designs[-1]
     return _print_sweep_report(
         report, baseline, design,
         title=f"resumed sweep: {design} vs {baseline} "
               f"({config.describe()})")
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Validate (and with ``--repair`` fix) a journal or checkpoint."""
+    from repro.resilience import doctor
+
+    diagnosis = (doctor.repair(args.path) if args.repair
+                 else doctor.diagnose(args.path))
+    if args.json:
+        print(json.dumps(diagnosis.as_dict(), indent=2, sort_keys=True))
+    else:
+        state = ("healthy" if diagnosis.healthy and not diagnosis.repaired
+                 else "repaired" if diagnosis.repaired
+                 else "unhealthy")
+        print(f"{diagnosis.kind} {diagnosis.path}: {state}")
+        for problem in diagnosis.problems:
+            print(f"  problem: {problem}")
+        for note in diagnosis.notes:
+            print(f"  note: {note}")
+        if diagnosis.repaired:
+            if diagnosis.quarantined:
+                print(f"  quarantined {diagnosis.quarantined} record(s) "
+                      f"to {diagnosis.quarantine_path}")
+            if diagnosis.salvaged:
+                print(f"  salvaged {diagnosis.salvaged} record(s) into "
+                      f"the canonical journal")
+        for cell in diagnosis.rerun_cells:
+            print(f"  re-run: ({cell[0]}, {cell[1]})")
+        if diagnosis.kind == "journal" and diagnosis.rerun_cells:
+            print(f"  resume with: python -m repro resume {diagnosis.path}")
+    if diagnosis.healthy or diagnosis.repaired:
+        return 0
+    if not args.repair and diagnosis.repairable:
+        print(f"run `python -m repro doctor --repair {args.path}` to "
+              f"quarantine corrupt records and rebuild", file=sys.stderr)
+    return 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -403,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "every N)")
     _add_machine_arguments(sweep)
     _add_injection_argument(sweep)
+    _add_supervision_arguments(sweep)
 
     resume = sub.add_parser(
         "resume", help="continue an interrupted journaled sweep")
@@ -417,6 +523,19 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--jobs", metavar="N", type=int, default=1,
                         help="run remaining cells across N worker "
                              "processes")
+    _add_supervision_arguments(resume)
+
+    doctor = sub.add_parser(
+        "doctor", help="validate and repair journals/checkpoints")
+    doctor.add_argument("path",
+                        help="a sweep journal or checkpoint file")
+    doctor.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt records to "
+                             "<path>.quarantine and rebuild the journal "
+                             "canonically (corrupt checkpoints are moved "
+                             "aside whole)")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the diagnosis as JSON")
 
     bench = sub.add_parser(
         "bench", help="measure simulator throughput (BENCH_perf.json)")
@@ -458,6 +577,7 @@ _HANDLERS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "resume": cmd_resume,
+    "doctor": cmd_doctor,
     "table3": cmd_table3,
     "bench": cmd_bench,
     "lint": cmd_lint,
@@ -467,12 +587,16 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Exit codes: 0 success; 1 completed with failures (failed sweep cells,
-    lint findings); 2 usage/configuration errors; 3 sanitizer violation.
+    Exit codes: 0 success; 1 completed with failures (failed sweep
+    cells, lint/doctor findings); 2 usage/configuration errors; 3
+    sanitizer violation; 4 a sweep paused cleanly and is resumable;
+    128+signum interrupted by a signal after flushing the journal.
     """
     from repro.devtools.sanitize import SanitizerError
-    from repro.resilience.checkpoint import CheckpointError
-    from repro.resilience.runner import JournalError
+    from repro.resilience.errors import (
+        ReproResilienceError,
+        SweepInterrupted,
+    )
 
     args = build_parser().parse_args(argv)
     try:
@@ -483,7 +607,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SanitizerError as exc:
         print(f"sanitizer: {exc}", file=sys.stderr)
         return 3
-    except (ValueError, KeyError, CheckpointError, JournalError) as exc:
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except ReproResilienceError as exc:
+        # CheckpointError/JournalError -> 2; JournalWriteError/
+        # DiskSpaceError -> 4 (paused, resumable); see errors.py.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return exc.exit_code
+    except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -27,12 +27,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as _signal_module
 import time
 from collections import deque
+from contextlib import ExitStack
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.resilience import chaos
 from repro.resilience.checkpoint import config_digest, config_to_dict
+from repro.resilience.errors import (
+    JournalError,
+    JournalWriteError,
+    ReproResilienceError,
+    SweepInterrupted,
+)
 from repro.resilience.runner import (
     CellCrash,
     CellError,
@@ -45,7 +54,7 @@ from repro.resilience.runner import (
 )
 
 
-class DuplicateCellError(RuntimeError):
+class DuplicateCellError(ReproResilienceError):
     """The same (workload, design) cell was dispatched twice concurrently."""
 
 
@@ -69,7 +78,7 @@ class _CellTask:
 class _Running:
     """A task currently executing in a worker process."""
 
-    __slots__ = ("task", "worker", "receiver", "deadline")
+    __slots__ = ("task", "worker", "receiver", "deadline", "last_heartbeat")
 
     def __init__(self, task: _CellTask, worker, receiver,
                  deadline: Optional[float]) -> None:
@@ -77,6 +86,7 @@ class _Running:
         self.worker = worker
         self.receiver = receiver
         self.deadline = deadline
+        self.last_heartbeat = time.monotonic()
 
 
 class _ParallelDispatcher:
@@ -105,6 +115,10 @@ class _ParallelDispatcher:
                   else "spawn")
         self._context = multiprocessing.get_context(method)
         self._in_flight: Dict[Tuple[str, str], _Running] = {}
+        #: worker heartbeat period; set by the supervised subclass.
+        self.heartbeat_s: Optional[float] = None
+        #: an InterruptState polled for graceful SIGINT/SIGTERM shutdown.
+        self.interrupt = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -119,10 +133,12 @@ class _ParallelDispatcher:
         worker = self._context.Process(
             target=_cell_worker,
             args=(sender, task.config, task.workload, self.trace_length,
-                  self.seed, self.fault_plan),
+                  self.seed, self.fault_plan, self.heartbeat_s),
             daemon=True)
         worker.start()
         sender.close()  # parent keeps only the read end
+        if chaos.worker_kill_due():
+            os.kill(worker.pid, _signal_module.SIGKILL)
         task.attempts += 1
         deadline = (time.monotonic() + self.timeout_s
                     if self.timeout_s is not None else None)
@@ -163,14 +179,34 @@ class _ParallelDispatcher:
             traceback="", config_digest=task.digest,
             attempts=task.attempts))
 
+    # ---------------------------------------------------- supervision hooks
+
+    def _poll_interval(self) -> Optional[float]:
+        """Upper bound on how long the loop may block waiting for pipe
+        traffic; the supervised subclass returns its watchdog cadence."""
+        return None
+
+    def _watchdogs(self, retries: List[_CellTask], on_complete) -> None:
+        """Extra per-iteration checks (hung/RSS); no-op unsupervised."""
+
+    def _interrupted(self) -> bool:
+        return (self.interrupt is not None
+                and self.interrupt.signum is not None)
+
     # ------------------------------------------------------------------ run
 
     def run(self, tasks: List[_CellTask],
             on_complete: Callable[[_CellTask, str, object], None]) -> None:
+        """Dispatch until every task completed — or a graceful interrupt
+        was flagged, in which case in-flight workers are reaped and their
+        cells simply stay unfinished (the journal already holds every
+        flushed record, so resume re-runs them)."""
         pending = deque(tasks)
         retries: List[_CellTask] = []
         try:
             while pending or retries or self._in_flight:
+                if self._interrupted():
+                    break
                 now = time.monotonic()
                 for task in [t for t in retries if t.ready_at <= now]:
                     retries.remove(task)
@@ -180,7 +216,10 @@ class _ParallelDispatcher:
                 if not self._in_flight:
                     if retries:
                         due = min(task.ready_at for task in retries)
-                        time.sleep(max(0.0, due - time.monotonic()))
+                        wait_s = max(0.0, due - time.monotonic())
+                        if self.interrupt is not None:
+                            wait_s = min(wait_s, 0.2)
+                        time.sleep(wait_s)
                     continue
                 timeout = None
                 if self.timeout_s is not None:
@@ -190,16 +229,26 @@ class _ParallelDispatcher:
                 if retries:
                     due = max(0.0, min(t.ready_at for t in retries) - now)
                     timeout = due if timeout is None else min(timeout, due)
+                interval = self._poll_interval()
+                if interval is not None:
+                    timeout = (interval if timeout is None
+                               else min(timeout, interval))
+                if self.interrupt is not None:
+                    # Stay responsive to a pending SIGINT/SIGTERM flag.
+                    timeout = 0.2 if timeout is None else min(timeout, 0.2)
                 by_receiver = {r.receiver: r
                                for r in self._in_flight.values()}
                 ready = _connection_wait(list(by_receiver), timeout)
                 for receiver in ready:
                     running = by_receiver[receiver]
                     task = running.task
-                    del self._in_flight[(task.workload, task.design)]
+                    key = (task.workload, task.design)
+                    if key not in self._in_flight:
+                        continue  # reaped by a watchdog this iteration
                     try:
                         outcome = receiver.recv()
                     except EOFError:
+                        del self._in_flight[key]
                         self._reap(running)
                         self._transient(running, CellCrash(
                             f"cell ({task.workload}, {task.design}) worker "
@@ -207,6 +256,10 @@ class _ParallelDispatcher:
                             f"{running.worker.exitcode})"), retries,
                             on_complete)
                         continue
+                    if outcome[0] == "hb":
+                        running.last_heartbeat = time.monotonic()
+                        continue
+                    del self._in_flight[key]
                     self._reap(running)
                     if outcome[0] == "ok":
                         on_complete(task, "ok", outcome[1])
@@ -237,6 +290,7 @@ class _ParallelDispatcher:
                             f"cell ({task.workload}, {task.design}) "
                             f"exceeded {self.timeout_s:g}s wall clock"),
                             retries, on_complete)
+                self._watchdogs(retries, on_complete)
         finally:
             self._shutdown()
 
@@ -247,7 +301,7 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
                    jobs: Optional[int] = None,
                    timeout_s: Optional[float] = None, max_retries: int = 1,
                    retry_backoff_s: float = 0.25, fault_plan=None,
-                   fail_fast: bool = False) -> SweepReport:
+                   fail_fast: bool = False, policy=None) -> SweepReport:
     """Run a journaled (workload x design) sweep across worker processes.
 
     Drop-in parallel variant of
@@ -257,10 +311,20 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
     own subprocess (parallelism implies isolation), so ``timeout_s``
     watchdogs apply per cell exactly as under ``isolate=True``.
 
+    When journaled, the sweep traps SIGINT/SIGTERM: the first signal
+    stops dispatching, flushes every buffered completed cell,
+    canonicalizes the journal, and raises
+    :class:`~repro.resilience.errors.SweepInterrupted`.  A journal write
+    fault (ENOSPC, EIO, torn write) instead *pauses* the sweep: the
+    report comes back with ``paused=True`` and a resume hint.
+
     Args:
         jobs: worker processes; ``None`` uses ``os.cpu_count()``.  Values
             <= 1 delegate wholesale to ``resilient_sweep`` (in-process,
-            one cell at a time).
+            one cell at a time; supervision does not apply).
+        policy: a :class:`repro.resilience.supervisor.SupervisionPolicy`
+            enabling heartbeat/hang/RSS watchdogs and the free-disk
+            guard; ``None`` runs the plain unsupervised dispatcher.
         (all other arguments match ``resilient_sweep``.)
     """
     from repro.resilience.runner import resilient_sweep
@@ -288,69 +352,140 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
         get_workload(workload)
 
     journal = SweepJournal(journal_path) if journal_path is not None else None
-    done: Dict[Tuple[str, str], Dict] = {}
+    if (journal is not None and policy is not None
+            and policy.min_free_mb is not None):
+        journal.min_free_bytes = int(policy.min_free_mb * 2 ** 20)
+
+    # Trap SIGINT/SIGTERM for the whole journaled section — header write
+    # through the final flush — so a signal anywhere in it degrades into
+    # a graceful, resumable stop instead of a torn KeyboardInterrupt.
+    stack = ExitStack()
+    interrupt = None
     if journal is not None:
-        if resume and journal.exists():
-            _, done = journal.read()
+        from repro.resilience.supervisor import trap_interrupts
+
+        interrupt = stack.enter_context(trap_interrupts())
+    pause: Optional[JournalWriteError] = None
+
+    done: Dict[Tuple[str, str], Dict] = {}
+    try:
+        if journal is not None:
+            if resume and journal.exists():
+                _, done = journal.read()
+            else:
+                try:
+                    journal.write_header({
+                        "config": config_to_dict(base_config),
+                        "config_digest": config_digest(base_config),
+                        "workloads": workloads,
+                        "designs": designs,
+                        "trace_length": trace_length,
+                        "seed": seed,
+                    })
+                except JournalWriteError as exc:
+                    pause = exc
+
+        cells = list(dict.fromkeys(
+            (workload, design)
+            for workload in workloads for design in designs))
+        results: Dict[str, Dict] = {
+            workload: {} for workload in dict.fromkeys(workloads)}
+        reused = 0
+        # mutate runs once per workload, in enumeration order (serial
+        # contract).
+        per_workload_config: Dict[str, object] = {}
+        tasks: List[_CellTask] = []
+        reused_records: Dict[Tuple[str, str], Dict] = {}
+        for workload, design in cells:
+            if workload not in per_workload_config:
+                per_workload_config[workload] = (
+                    mutate(base_config, workload) if mutate else base_config)
+            config = per_workload_config[workload].with_design(design)
+            digest = config_digest(config)
+            record = done.get((workload, design))
+            if (record is not None and record.get("type") == "done"
+                    and record.get("config_digest") == digest):
+                reused_records[(workload, design)] = record
+                reused += 1
+                continue
+            tasks.append(
+                _CellTask(len(tasks), workload, design, config, digest))
+
+        # Completion-order outcomes, re-sequenced into enumeration order
+        # for the journal: slot N's record is appended only once slots
+        # 0..N-1 are written, so the journal is always a clean
+        # serial-order prefix.
+        outcomes: Dict[int, Tuple[str, object]] = {}
+        next_slot = 0
+
+        def on_complete(task: _CellTask, kind: str, payload) -> None:
+            nonlocal next_slot
+            outcomes[task.slot] = (kind, payload)
+            while next_slot < len(tasks) and next_slot in outcomes:
+                flush_kind, flush_payload = outcomes[next_slot]
+                flushed = tasks[next_slot]
+                if journal is not None:
+                    if flush_kind == "ok":
+                        journal.append_done(flushed.workload, flushed.design,
+                                            flushed.digest, flush_payload)
+                    else:
+                        journal.append_failed(flush_payload)
+                next_slot += 1
+
+        dispatcher_kwargs = dict(
+            jobs=jobs, trace_length=trace_length, seed=seed,
+            fault_plan=fault_plan, timeout_s=timeout_s,
+            max_retries=max_retries, retry_backoff_s=retry_backoff_s,
+            fail_fast=fail_fast)
+        if policy is not None:
+            from repro.resilience.supervisor import SupervisedDispatcher
+
+            dispatcher = SupervisedDispatcher(policy=policy,
+                                              **dispatcher_kwargs)
         else:
-            journal.write_header({
-                "config": config_to_dict(base_config),
-                "config_digest": config_digest(base_config),
-                "workloads": workloads,
-                "designs": designs,
-                "trace_length": trace_length,
-                "seed": seed,
-            })
+            dispatcher = _ParallelDispatcher(**dispatcher_kwargs)
+        dispatcher.interrupt = interrupt
 
-    cells = list(dict.fromkeys(
-        (workload, design) for workload in workloads for design in designs))
-    results: Dict[str, Dict] = {
-        workload: {} for workload in dict.fromkeys(workloads)}
-    reused = 0
-    # mutate runs once per workload, in enumeration order (serial contract).
-    per_workload_config: Dict[str, object] = {}
-    tasks: List[_CellTask] = []
-    reused_records: Dict[Tuple[str, str], Dict] = {}
-    for workload, design in cells:
-        if workload not in per_workload_config:
-            per_workload_config[workload] = (
-                mutate(base_config, workload) if mutate else base_config)
-        config = per_workload_config[workload].with_design(design)
-        digest = config_digest(config)
-        record = done.get((workload, design))
-        if (record is not None and record.get("type") == "done"
-                and record.get("config_digest") == digest):
-            reused_records[(workload, design)] = record
-            reused += 1
-            continue
-        tasks.append(_CellTask(len(tasks), workload, design, config, digest))
+        if pause is None:
+            try:
+                dispatcher.run(tasks, on_complete)
+            except JournalWriteError as exc:
+                pause = exc
+        interrupted_sig = (interrupt.signum
+                           if interrupt is not None else None)
+        if journal is not None and pause is None:
+            # Flush completed cells still buffered past an unfinished
+            # slot (only an interrupt leaves any); rewrite_canonical
+            # restores enumeration order from the last-record-per-cell
+            # view.
+            for slot in sorted(s for s in outcomes if s >= next_slot):
+                flush_kind, flush_payload = outcomes[slot]
+                flushed = tasks[slot]
+                try:
+                    if flush_kind == "ok":
+                        journal.append_done(flushed.workload, flushed.design,
+                                            flushed.digest, flush_payload)
+                    else:
+                        journal.append_failed(flush_payload)
+                except JournalWriteError as exc:
+                    pause = exc
+                    break
+                next_slot = slot + 1
+        if journal is not None and journal.exists():
+            if pause is not None or interrupted_sig is not None:
+                try:
+                    journal.rewrite_canonical(cells)
+                except (JournalError, OSError):
+                    pass  # keep the raw (still readable) journal
+            else:
+                journal.rewrite_canonical(cells)
+    finally:
+        stack.close()
 
-    # Completion-order outcomes, re-sequenced into enumeration order for
-    # the journal: slot N's record is appended only once slots 0..N-1 are
-    # written, so the journal is always a clean serial-order prefix.
-    outcomes: Dict[int, Tuple[str, object]] = {}
-    next_slot = 0
-
-    def on_complete(task: _CellTask, kind: str, payload) -> None:
-        nonlocal next_slot
-        outcomes[task.slot] = (kind, payload)
-        while next_slot < len(tasks) and next_slot in outcomes:
-            flush_kind, flush_payload = outcomes[next_slot]
-            flushed = tasks[next_slot]
-            if journal is not None:
-                if flush_kind == "ok":
-                    journal.append_done(flushed.workload, flushed.design,
-                                        flushed.digest, flush_payload)
-                else:
-                    journal.append_failed(flush_payload)
-            next_slot += 1
-
-    dispatcher = _ParallelDispatcher(
-        jobs=jobs, trace_length=trace_length, seed=seed,
-        fault_plan=fault_plan, timeout_s=timeout_s,
-        max_retries=max_retries, retry_backoff_s=retry_backoff_s,
-        fail_fast=fail_fast)
-    dispatcher.run(tasks, on_complete)
+    incomplete = any(task.slot not in outcomes for task in tasks)
+    if interrupted_sig is not None and incomplete and pause is None:
+        raise SweepInterrupted(
+            interrupted_sig, journal.path if journal is not None else None)
 
     failures: List[FailedCell] = []
     by_key = {(task.workload, task.design): task for task in tasks}
@@ -360,12 +495,19 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             results[workload][design] = SimulationResult.from_dict(
                 record["result"])
             continue
-        kind, payload = outcomes[by_key[(workload, design)].slot]
+        outcome = outcomes.get(by_key[(workload, design)].slot)
+        if outcome is None:
+            continue  # paused before this cell finished
+        kind, payload = outcome
         if kind == "ok":
             results[workload][design] = SimulationResult.from_dict(payload)
         else:
             failures.append(payload)
-    if journal is not None and journal.exists():
-        journal.rewrite_canonical(cells)
-    return SweepReport(results=results, failures=failures,
-                       reused=reused, executed=len(tasks))
+    report = SweepReport(results=results, failures=failures,
+                         reused=reused, executed=len(outcomes))
+    if pause is not None:
+        report.paused = True
+        report.pause_reason = str(pause)
+        if journal is not None:
+            report.resume_hint = f"python -m repro resume {journal.path}"
+    return report

@@ -3,6 +3,10 @@
 Long multi-workload sweeps are the unit of work behind every paper figure;
 this package makes them survivable:
 
+* :mod:`repro.resilience.errors` — the unified
+  :class:`~repro.resilience.errors.ReproResilienceError` taxonomy and the
+  documented CLI exit-code contract (0 ok, 1 failed cells, 2 usage, 3
+  sanitizer, 4 paused, 128+signum interrupted).
 * :mod:`repro.resilience.checkpoint` — versioned, checksummed, atomically
   written on-disk checkpoints of a :class:`~repro.sim.system.SystemSimulator`
   snapshot, plus the config/trace digests that guard them.
@@ -14,10 +18,43 @@ this package makes them survivable:
 * :mod:`repro.resilience.faults` — a :class:`~repro.resilience.faults.FaultPlan`
   that deliberately corrupts simulator state mid-run, proving the runtime
   sanitizer (:mod:`repro.devtools.sanitize`) detects each fault class.
+* :mod:`repro.resilience.chaos` — deterministic *host* fault injection
+  (worker SIGKILL, ENOSPC/EIO/torn journal and checkpoint writes,
+  scheduled SIGINT/SIGTERM) proving the supervision stack keeps every
+  campaign resumable.
+* :mod:`repro.resilience.supervisor` — self-healing sweep supervision:
+  worker heartbeats, hung-worker replacement, RSS watchdogs with adaptive
+  job downshift, free-disk guards, and graceful interrupt trapping.
+* :mod:`repro.resilience.doctor` — ``repro doctor``: validate and repair
+  journals/checkpoints, quarantining corrupt records and reporting the
+  exact cells a resume will re-run.
 """
 
-from repro.resilience.checkpoint import (
+from repro.resilience.errors import (
+    EXIT_FAILED_CELLS,
+    EXIT_INTERRUPT_BASE,
+    EXIT_OK,
+    EXIT_PAUSED,
+    EXIT_SANITIZER,
+    EXIT_USAGE,
+    CellCrash,
+    CellHung,
+    CellResourceLimit,
+    CellTimeout,
     CheckpointError,
+    DiskSpaceError,
+    JournalError,
+    JournalWriteError,
+    ReproResilienceError,
+    SweepInterrupted,
+)
+from repro.resilience.chaos import (
+    HOST_FAULT_KINDS,
+    HostFaultError,
+    HostFaultPlan,
+    HostFaultSpec,
+)
+from repro.resilience.checkpoint import (
     config_digest,
     config_from_dict,
     config_to_dict,
@@ -33,17 +70,44 @@ from repro.resilience.faults import (
     FaultSpec,
 )
 from repro.resilience.runner import (
-    CellCrash,
-    CellTimeout,
     FailedCell,
-    JournalError,
     SweepJournal,
     SweepReport,
     resilient_sweep,
 )
+from repro.resilience.doctor import (
+    Diagnosis,
+    diagnose,
+    repair,
+)
+from repro.resilience.supervisor import (
+    SupervisedDispatcher,
+    SupervisionPolicy,
+    supervised_sweep,
+    trap_interrupts,
+)
 
 __all__ = [
+    "EXIT_OK",
+    "EXIT_FAILED_CELLS",
+    "EXIT_USAGE",
+    "EXIT_SANITIZER",
+    "EXIT_PAUSED",
+    "EXIT_INTERRUPT_BASE",
+    "ReproResilienceError",
+    "CellCrash",
+    "CellHung",
+    "CellResourceLimit",
+    "CellTimeout",
     "CheckpointError",
+    "DiskSpaceError",
+    "JournalError",
+    "JournalWriteError",
+    "SweepInterrupted",
+    "HOST_FAULT_KINDS",
+    "HostFaultError",
+    "HostFaultPlan",
+    "HostFaultSpec",
     "config_digest",
     "config_from_dict",
     "config_to_dict",
@@ -55,11 +119,15 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",
-    "CellCrash",
-    "CellTimeout",
     "FailedCell",
-    "JournalError",
     "SweepJournal",
     "SweepReport",
     "resilient_sweep",
+    "Diagnosis",
+    "diagnose",
+    "repair",
+    "SupervisedDispatcher",
+    "SupervisionPolicy",
+    "supervised_sweep",
+    "trap_interrupts",
 ]

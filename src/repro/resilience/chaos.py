@@ -1,0 +1,219 @@
+"""Host-environment fault injection (the chaos layer).
+
+:mod:`repro.resilience.faults` corrupts *simulator* state to prove the
+sanitizer catches modelling bugs; this module injects faults into the
+*host* environment the sweep runs on — dead workers, full disks, torn
+writes, signals — to prove the supervision/journal/doctor stack keeps
+every campaign resumable.  Kinds (all deterministic, ``KIND@N`` with
+0-based event counters):
+
+========================  ==================================================
+host fault kind           effect
+========================  ==================================================
+``worker-kill@N``         SIGKILL the worker process of the N-th spawned
+                          cell attempt (spawn-order counter, retries
+                          included) the instant it starts
+``journal-enospc@N``      the N-th journal append raises
+                          ``OSError(ENOSPC)`` before any byte is written
+``journal-eio@N``         the N-th journal append raises ``OSError(EIO)``
+                          before any byte is written
+``journal-torn@N:B``      the N-th journal append writes only its first
+                          ``B`` bytes, then fails — a crash mid-append
+``checkpoint-*@N``        the same three, applied to the N-th checkpoint
+                          file write (atomicity must hold: the previous
+                          checkpoint survives untouched)
+``sigint@N``              deliver SIGINT to the sweep process right after
+                          its N-th *successful* journal append
+``sigterm@N``             deliver SIGTERM likewise
+========================  ==================================================
+
+Plans are armed process-locally (:func:`arm` / :func:`disarm` /
+:func:`armed`); the journal, checkpoint, and dispatcher write paths
+consult this module on every event.  An unarmed process pays one ``is
+None`` check per event — the layer is free when idle.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.resilience.errors import ReproResilienceError
+
+#: Every host fault kind this layer can inject.
+HOST_FAULT_KINDS = (
+    "worker-kill",
+    "journal-enospc",
+    "journal-eio",
+    "journal-torn",
+    "checkpoint-enospc",
+    "checkpoint-eio",
+    "checkpoint-torn",
+    "sigint",
+    "sigterm",
+)
+
+_TORN_KINDS = frozenset(("journal-torn", "checkpoint-torn"))
+_SIGNAL_KINDS = {"sigint": signal.SIGINT, "sigterm": signal.SIGTERM}
+
+
+class HostFaultError(ReproResilienceError, ValueError):
+    """A host fault spec is malformed."""
+
+
+@dataclass(frozen=True)
+class HostFaultSpec:
+    """One host fault: the kind, the 0-based event index it fires at,
+    and (torn kinds only) the byte offset the write is cut at."""
+
+    kind: str
+    at: int
+    offset: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "HostFaultSpec":
+        """Parse the CLI form ``kind@N`` or ``kind@N:BYTES`` (torn)."""
+        kind, separator, rest = text.partition("@")
+        if not separator or not rest:
+            raise HostFaultError(
+                f"bad host fault spec {text!r}; expected kind@N (e.g. "
+                f"worker-kill@2) or kind@N:BYTES (e.g. journal-torn@1:40)")
+        if kind not in HOST_FAULT_KINDS:
+            raise HostFaultError(
+                f"unknown host fault kind {kind!r}; valid kinds: "
+                f"{', '.join(HOST_FAULT_KINDS)}")
+        at_text, colon, offset_text = rest.partition(":")
+        if colon and kind not in _TORN_KINDS:
+            raise HostFaultError(
+                f"{text!r}: a byte offset only applies to torn-write "
+                f"kinds ({', '.join(sorted(_TORN_KINDS))})")
+        try:
+            at = int(at_text)
+            offset = int(offset_text) if colon else 0
+        except ValueError:
+            raise HostFaultError(
+                f"bad number in host fault spec {text!r}") from None
+        if at < 0 or offset < 0:
+            raise HostFaultError(
+                f"host fault indices must be >= 0 in {text!r}")
+        return cls(kind=kind, at=at, offset=offset)
+
+
+class HostFaultPlan:
+    """A deterministic schedule of host faults."""
+
+    def __init__(self, specs: Iterable[HostFaultSpec]) -> None:
+        self._specs: Tuple[HostFaultSpec, ...] = tuple(specs)
+        for spec in self._specs:
+            if spec.kind not in HOST_FAULT_KINDS:
+                raise HostFaultError(
+                    f"unknown host fault kind {spec.kind!r}; valid kinds: "
+                    f"{', '.join(HOST_FAULT_KINDS)}")
+
+    @classmethod
+    def parse(cls, texts: Iterable[str]) -> "HostFaultPlan":
+        """Build a plan from CLI ``kind@N[:BYTES]`` specs."""
+        return cls(HostFaultSpec.parse(text) for text in texts)
+
+    @property
+    def specs(self) -> Tuple[HostFaultSpec, ...]:
+        return self._specs
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(spec.kind for spec in self._specs)
+
+
+class _ChaosState:
+    """The armed plan plus per-counter event counts."""
+
+    def __init__(self, plan: HostFaultPlan) -> None:
+        self.plan = plan
+        self.counters: Dict[str, int] = {}
+
+    def take(self, counter: str,
+             kinds: Set[str]) -> Optional[HostFaultSpec]:
+        """Count one event on ``counter``; return the spec due now, if any."""
+        n = self.counters.get(counter, 0)
+        self.counters[counter] = n + 1
+        for spec in self.plan.specs:
+            if spec.kind in kinds and spec.at == n:
+                return spec
+        return None
+
+
+_STATE: Optional[_ChaosState] = None
+
+
+def arm(plan: HostFaultPlan) -> None:
+    """Arm ``plan`` process-locally (event counters start at zero)."""
+    global _STATE
+    _STATE = _ChaosState(plan)
+
+
+def disarm() -> None:
+    """Disarm any armed plan."""
+    global _STATE
+    _STATE = None
+
+
+def active() -> Optional[HostFaultPlan]:
+    """The armed plan, or None."""
+    return _STATE.plan if _STATE is not None else None
+
+
+@contextmanager
+def armed(plan: Optional[HostFaultPlan]):
+    """Arm ``plan`` for the duration of the block (no-op when None)."""
+    if plan is None:
+        yield None
+        return
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+# ------------------------------------------------------------ consult points
+
+def worker_kill_due() -> bool:
+    """Count one worker spawn; True when this one should be SIGKILLed."""
+    if _STATE is None:
+        return False
+    return _STATE.take("worker-kill", {"worker-kill"}) is not None
+
+
+def write_fault(stream: str, data: bytes) -> Optional[bytes]:
+    """Count one ``stream`` ("journal"/"checkpoint") write event.
+
+    Returns None (no fault), raises ``OSError`` (ENOSPC/EIO before any
+    byte lands), or returns the torn prefix the caller must write before
+    failing as a simulated crash mid-write.
+    """
+    if _STATE is None:
+        return None
+    spec = _STATE.take(stream, {f"{stream}-enospc", f"{stream}-eio",
+                                f"{stream}-torn"})
+    if spec is None:
+        return None
+    if spec.kind.endswith("-enospc"):
+        raise OSError(errno.ENOSPC,
+                      f"chaos: simulated ENOSPC on {stream} write")
+    if spec.kind.endswith("-eio"):
+        raise OSError(errno.EIO, f"chaos: simulated EIO on {stream} write")
+    return data[:spec.offset]
+
+
+def after_write(stream: str) -> None:
+    """Count one *successful* ``stream`` write; deliver a scheduled
+    SIGINT/SIGTERM to this process when one is due."""
+    if _STATE is None:
+        return
+    spec = _STATE.take(f"{stream}-post", set(_SIGNAL_KINDS))
+    if spec is not None:
+        os.kill(os.getpid(), _SIGNAL_KINDS[spec.kind])

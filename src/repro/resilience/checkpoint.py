@@ -25,12 +25,23 @@ import os
 from pathlib import Path
 from typing import Dict, Tuple
 
+from repro.resilience import chaos
+from repro.resilience.errors import CheckpointError
+
+__all__ = [
+    "MAGIC",
+    "CheckpointError",
+    "config_digest",
+    "trace_digest",
+    "config_to_dict",
+    "config_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_simulator",
+]
+
 #: First line of every checkpoint file.
 MAGIC = "repro-checkpoint v1"
-
-
-class CheckpointError(RuntimeError):
-    """A checkpoint could not be written, read, or applied."""
 
 
 # ------------------------------------------------------------------ digests
@@ -108,15 +119,30 @@ def save_checkpoint(path, sim) -> None:
     }
     destination = Path(path)
     temp = destination.with_name(destination.name + ".tmp")
+    blob = ((MAGIC + "\n").encode("ascii")
+            + (json.dumps(header, sort_keys=True) + "\n").encode("utf-8")
+            + payload)
     try:
-        with open(temp, "wb") as handle:
-            handle.write((MAGIC + "\n").encode("ascii"))
-            handle.write((json.dumps(header, sort_keys=True) + "\n")
-                         .encode("utf-8"))
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, destination)
+        try:
+            torn = chaos.write_fault("checkpoint", blob)
+            with open(temp, "wb") as handle:
+                handle.write(blob if torn is None else torn)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if torn is not None:
+                # Simulated crash mid-write: the torn bytes live only in
+                # the temp file, which the finally clause removes — the
+                # previous checkpoint at ``destination`` is untouched.
+                raise OSError(
+                    f"chaos: torn checkpoint write ({len(torn)} of "
+                    f"{len(blob)} bytes)")
+            os.replace(temp, destination)
+        except OSError as exc:
+            raise CheckpointError(
+                f"{destination}: checkpoint write failed ({exc}) — the "
+                f"write was atomic, so the previous checkpoint (if any) "
+                f"is untouched") from exc
+        chaos.after_write("checkpoint")
     finally:
         if temp.exists():
             temp.unlink()

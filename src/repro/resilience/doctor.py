@@ -1,0 +1,296 @@
+"""``repro doctor`` — validate and repair sweep journals and checkpoints.
+
+A crash, a chaos run, or a flaky disk can leave two kinds of on-disk
+state behind:
+
+* a **sweep journal** with a torn trailing line (benign — ``read()``
+  tolerates it) or corrupt mid-file records (``read()`` refuses them);
+* a **checkpoint** file that fails its magic/header/length/sha checks.
+
+The doctor diagnoses both without ever raising on content (it is built
+on :meth:`SweepJournal.scan`, the salvage primitive), and — under
+``--repair`` — quarantines every corrupt record to
+``<path>.quarantine`` (JSONL, one ``{"line": N, "raw": ...}`` object per
+quarantined line), rebuilds the journal canonically from every
+checksum-valid record, and reports exactly which cells a resume will
+re-run.  Checkpoints are not patchable (the payload hash either matches
+or it does not), so repairing one moves it aside and lets the sweep
+re-simulate from the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.checkpoint import MAGIC, load_checkpoint
+from repro.resilience.errors import CheckpointError, JournalError
+from repro.resilience.runner import SweepJournal
+
+__all__ = [
+    "Diagnosis",
+    "detect_kind",
+    "diagnose",
+    "diagnose_journal",
+    "diagnose_checkpoint",
+    "repair",
+    "repair_journal",
+    "repair_checkpoint",
+]
+
+
+@dataclass
+class Diagnosis:
+    """What the doctor found (and, after ``--repair``, what it did)."""
+
+    path: str
+    kind: str                       # "journal" | "checkpoint"
+    healthy: bool = True
+    repairable: bool = True
+    #: conditions that block a plain ``read()`` / ``load_checkpoint()``.
+    problems: List[str] = field(default_factory=list)
+    #: benign observations (torn trailing line, failed cells on record).
+    notes: List[str] = field(default_factory=list)
+    #: set by repair: records rebuilt into the canonical journal.
+    salvaged: int = 0
+    #: set by repair: corrupt lines moved to ``<path>.quarantine``.
+    quarantined: int = 0
+    #: cells a resume will re-run (matrix cells with no valid ``done``).
+    rerun_cells: List[Tuple[str, str]] = field(default_factory=list)
+    #: cells whose last valid record is a degradation (``failed``).
+    failed_cells: List[Tuple[str, str]] = field(default_factory=list)
+    repaired: bool = False
+    quarantine_path: Optional[str] = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "healthy": self.healthy,
+            "repairable": self.repairable,
+            "problems": list(self.problems),
+            "notes": list(self.notes),
+            "salvaged": self.salvaged,
+            "quarantined": self.quarantined,
+            "rerun_cells": [list(cell) for cell in self.rerun_cells],
+            "failed_cells": [list(cell) for cell in self.failed_cells],
+            "repaired": self.repaired,
+            "quarantine_path": self.quarantine_path,
+        }
+
+
+def detect_kind(path) -> str:
+    """Classify ``path`` as "checkpoint" or "journal" by its first bytes."""
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no file at {path} to diagnose")
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    return "checkpoint" if head.startswith(b"repro-checkpoint") else "journal"
+
+
+# ------------------------------------------------------------------ journal
+
+def _survey_journal(path) -> Tuple[List[Tuple[int, str, Optional[Dict]]],
+                                   Optional[Dict]]:
+    """Scan every line; return ``(entries, header)`` where ``header`` is
+    the first checksum-valid header record (or None)."""
+    entries = list(SweepJournal(path).scan())
+    header = next((record for _n, _l, record in entries
+                   if record is not None and record.get("type") == "header"),
+                  None)
+    return entries, header
+
+
+def _cell_inventory(header: Dict,
+                    entries) -> Tuple[List[Tuple[str, str]],
+                                      List[Tuple[str, str]]]:
+    """``(rerun_cells, failed_cells)`` from the header's matrix and the
+    last valid record per cell."""
+    matrix = [(workload, design)
+              for workload in header.get("workloads", [])
+              for design in header.get("designs", [])]
+    last: Dict[Tuple[str, str], Dict] = {}
+    for _number, _line, record in entries:
+        if record is not None and record.get("type") in ("done", "failed"):
+            last[(record["workload"], record["design"])] = record
+    rerun = [cell for cell in matrix
+             if last.get(cell, {}).get("type") != "done"]
+    failed = [cell for cell in matrix
+              if last.get(cell, {}).get("type") == "failed"]
+    return rerun, failed
+
+
+def diagnose_journal(path) -> Diagnosis:
+    """Inspect a journal without modifying it; never raises on content."""
+    path = Path(path)
+    diagnosis = Diagnosis(path=str(path), kind="journal")
+    if not path.exists():
+        diagnosis.healthy = False
+        diagnosis.repairable = False
+        diagnosis.problems.append(f"no journal at {path}")
+        return diagnosis
+    entries, header = _survey_journal(path)
+    corrupt = [(number, line) for number, line, record in entries
+               if record is None]
+    torn_trailing = bool(
+        entries and corrupt and corrupt[-1][0] == entries[-1][0]
+        and len(corrupt) == 1)
+    if torn_trailing:
+        diagnosis.notes.append(
+            f"line {corrupt[0][0]} is a torn trailing append (crash "
+            f"mid-write); read() tolerates it, resume re-runs the cell")
+    elif corrupt:
+        diagnosis.healthy = False
+        lines = ", ".join(str(number) for number, _ in corrupt)
+        diagnosis.problems.append(
+            f"{len(corrupt)} corrupt record(s) at line(s) {lines} "
+            f"(checksum mismatch or invalid JSON)")
+    if header is None:
+        diagnosis.healthy = False
+        diagnosis.repairable = False
+        diagnosis.problems.append(
+            "no checksum-valid header record — the journal cannot "
+            "identify its sweep and cannot be rebuilt; re-run with a "
+            "fresh journal")
+        return diagnosis
+    first_valid = next((record for _n, _l, record in entries
+                        if record is not None), None)
+    if first_valid is not None and first_valid.get("type") != "header":
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            "the first valid record is not the header (records before it "
+            "are corrupt or out of order); repair rebuilds the canonical "
+            "layout")
+    diagnosis.rerun_cells, diagnosis.failed_cells = _cell_inventory(
+        header, entries)
+    if diagnosis.failed_cells:
+        cells = ", ".join(f"({w}, {d})" for w, d in diagnosis.failed_cells)
+        diagnosis.notes.append(
+            f"{len(diagnosis.failed_cells)} cell(s) on record as degraded "
+            f"failures: {cells}; resume retries them")
+    return diagnosis
+
+
+def repair_journal(path) -> Diagnosis:
+    """Quarantine corrupt records and rebuild the canonical journal.
+
+    Every checksum-valid record survives; every corrupt line is appended
+    to ``<path>.quarantine`` as ``{"line": N, "raw": <line>}``.  The
+    rebuilt journal is the canonical layout (header first, then the last
+    valid record per cell in matrix enumeration order), written atomically
+    next to the original.  Raises :class:`JournalError` when no valid
+    header survives — there is nothing to rebuild around.
+    """
+    path = Path(path)
+    diagnosis = diagnose_journal(path)
+    if not diagnosis.repairable:
+        raise JournalError(
+            f"{path}: unrepairable — {'; '.join(diagnosis.problems)}")
+    if diagnosis.healthy and not diagnosis.notes:
+        return diagnosis  # nothing to do
+    entries, header = _survey_journal(path)
+    corrupt = [(number, line) for number, line, record in entries
+               if record is None]
+    if corrupt:
+        quarantine = path.with_name(path.name + ".quarantine")
+        with open(quarantine, "a", encoding="utf-8") as handle:
+            for number, line in corrupt:
+                handle.write(json.dumps({"line": number, "raw": line},
+                                        sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        diagnosis.quarantine_path = str(quarantine)
+        diagnosis.quarantined = len(corrupt)
+    # Canonical rebuild: header + last valid record per cell in matrix
+    # order (cells outside the matrix sort after it), atomic replace.
+    last: Dict[Tuple[str, str], Dict] = {}
+    for _number, _line, record in entries:
+        if record is not None and record.get("type") in ("done", "failed"):
+            last[(record["workload"], record["design"])] = record
+    matrix = [(workload, design)
+              for workload in header.get("workloads", [])
+              for design in header.get("designs", [])]
+    rank = {cell: position for position, cell in enumerate(matrix)}
+    ordered = sorted(last.items(),
+                     key=lambda item: (rank.get(item[0], len(rank)),
+                                       item[0]))
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(record, sort_keys=True) for _, record in ordered)
+    content = "\n".join(lines) + "\n"
+    temp = path.with_name(path.name + ".repair.tmp")
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if temp.exists():
+            temp.unlink()
+    diagnosis.salvaged = 1 + len(ordered)
+    diagnosis.repaired = True
+    diagnosis.healthy = True
+    diagnosis.problems = []
+    return diagnosis
+
+
+# --------------------------------------------------------------- checkpoint
+
+def diagnose_checkpoint(path) -> Diagnosis:
+    """Validate a checkpoint's magic, header, length, and payload hash."""
+    path = Path(path)
+    diagnosis = Diagnosis(path=str(path), kind="checkpoint")
+    if not path.exists():
+        diagnosis.healthy = False
+        diagnosis.repairable = False
+        diagnosis.problems.append(f"no checkpoint at {path}")
+        return diagnosis
+    try:
+        load_checkpoint(path)
+    except CheckpointError as exc:
+        diagnosis.healthy = False
+        diagnosis.problems.append(str(exc))
+        diagnosis.notes.append(
+            "checkpoints are atomic and content-addressed: a corrupt one "
+            "cannot be patched, only quarantined (the sweep re-simulates "
+            "the cell from its journal)")
+    return diagnosis
+
+
+def repair_checkpoint(path) -> Diagnosis:
+    """Move a corrupt checkpoint to ``<path>.quarantine``.
+
+    A checkpoint that fails validation cannot be salvaged (its payload
+    hash is all-or-nothing), so repair is quarantine: the next run
+    re-simulates instead of restoring from poisoned state.
+    """
+    path = Path(path)
+    diagnosis = diagnose_checkpoint(path)
+    if diagnosis.healthy or not diagnosis.repairable:
+        return diagnosis
+    quarantine = path.with_name(path.name + ".quarantine")
+    os.replace(path, quarantine)
+    diagnosis.quarantine_path = str(quarantine)
+    diagnosis.quarantined = 1
+    diagnosis.repaired = True
+    return diagnosis
+
+
+# ------------------------------------------------------------------ dispatch
+
+def diagnose(path) -> Diagnosis:
+    """Diagnose ``path`` as whatever it is (journal or checkpoint)."""
+    kind = detect_kind(path)
+    return (diagnose_checkpoint(path) if kind == "checkpoint"
+            else diagnose_journal(path))
+
+
+def repair(path) -> Diagnosis:
+    """Repair ``path`` as whatever it is (journal or checkpoint)."""
+    kind = detect_kind(path)
+    return (repair_checkpoint(path) if kind == "checkpoint"
+            else repair_journal(path))

@@ -1,0 +1,154 @@
+"""Unified error taxonomy for the resilience layer.
+
+Every failure the resilience stack can raise derives from
+:class:`ReproResilienceError`, so callers that just want "the sweep
+machinery had a problem" can catch one type; the concrete subclasses
+keep their historical stdlib bases (``TimeoutError``, ``ValueError``)
+so existing ``except`` clauses keep working.
+
+Each error class carries the CLI exit code the ``repro`` command maps it
+to (``exit_code``).  The documented exit-code contract:
+
+====  ========================================================
+code  meaning
+====  ========================================================
+0     success
+1     completed, but some sweep cells failed (or lint findings)
+2     usage / configuration errors (bad specs, corrupt headers,
+      unrepairable journals)
+3     the runtime invariant sanitizer tripped
+4     the sweep paused cleanly (disk-space guard, journal write
+      fault) — the journal is intact; ``repro resume`` continues
+130   interrupted by SIGINT — journal flushed, canonicalized,
+      resumable (128 + signal number; SIGTERM exits 143)
+====  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Documented ``repro`` CLI exit codes.
+EXIT_OK = 0
+EXIT_FAILED_CELLS = 1
+EXIT_USAGE = 2
+EXIT_SANITIZER = 3
+EXIT_PAUSED = 4
+#: Interrupt exits are ``EXIT_INTERRUPT_BASE + signal number`` (the shell
+#: convention): SIGINT -> 130, SIGTERM -> 143.
+EXIT_INTERRUPT_BASE = 128
+
+
+class ReproResilienceError(RuntimeError):
+    """Base of every checkpoint/journal/sweep/chaos error.
+
+    ``exit_code`` is the process exit code ``repro``'s CLI maps the
+    error to (subclasses override it where the contract differs).
+    """
+
+    exit_code = EXIT_USAGE
+
+
+class CellTimeout(ReproResilienceError, TimeoutError):
+    """An isolated cell exceeded its wall-clock budget (transient)."""
+
+
+class CellCrash(ReproResilienceError):
+    """An isolated cell's worker died without reporting (transient)."""
+
+
+class CellHung(CellTimeout):
+    """A supervised worker stopped heartbeating (hung; transient)."""
+
+
+class CellResourceLimit(ReproResilienceError):
+    """A supervised worker breached its RSS ceiling with no concurrency
+    left to shed (transient; retried by the usual budget)."""
+
+
+class CellError(ReproResilienceError):
+    """A cell raised inside the worker; carries the remote error shape."""
+
+    def __init__(self, error_class: str, message: str,
+                 traceback_text: str) -> None:
+        super().__init__(f"{error_class}: {message}")
+        self.error_class = error_class
+        self.message = message
+        self.traceback_text = traceback_text
+
+
+class JournalError(ReproResilienceError):
+    """A sweep journal is unreadable or inconsistent."""
+
+
+class CheckpointError(ReproResilienceError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+class JournalWriteError(ReproResilienceError):
+    """Appending to the journal failed (I/O error, torn write).
+
+    The journal on disk is still valid — at worst it ends in one torn
+    trailing line, which :meth:`SweepJournal.read` tolerates — so the
+    sweep pauses cleanly instead of tearing state, and ``repro resume``
+    picks it back up.
+    """
+
+    exit_code = EXIT_PAUSED
+
+
+class DiskSpaceError(JournalWriteError):
+    """The journal's filesystem dropped below the free-space floor.
+
+    Raised *before* the write, so nothing is torn; the sweep pauses with
+    a resume hint instead of fsyncing into a full disk.
+    """
+
+
+class SweepInterrupted(ReproResilienceError):
+    """A journaled sweep stopped on SIGINT/SIGTERM with a resumable journal.
+
+    Raised only after buffered completed cells were flushed and the
+    journal canonicalized, so ``repro resume`` (or ``repro sweep
+    --resume``) continues exactly where the interrupted run stopped.
+    """
+
+    def __init__(self, signum: int, journal_path=None) -> None:
+        import signal as _signal
+
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        hint = (f"; resume with: python -m repro resume {journal_path}"
+                if journal_path is not None else "")
+        super().__init__(
+            f"sweep interrupted by {name} — completed cells are journaled "
+            f"and the journal is canonical{hint}")
+        self.signum = signum
+        self.journal_path = journal_path
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_INTERRUPT_BASE + self.signum
+
+
+def classify_write_error(exc: OSError, path,
+                         resume_hint: Optional[str] = None) -> JournalWriteError:
+    """Map an OSError from a journal write to the taxonomy.
+
+    ``ENOSPC`` becomes :class:`DiskSpaceError`; everything else (EIO,
+    torn-write simulation, ...) a :class:`JournalWriteError`.  Both pause
+    the sweep cleanly with ``resume_hint`` appended to the message.
+    """
+    import errno as _errno
+
+    hint = f" — {resume_hint}" if resume_hint else ""
+    reason = exc.strerror or str(exc)
+    if exc.errno == _errno.ENOSPC:
+        return DiskSpaceError(
+            f"{path}: no space left on device ({reason}); pausing before "
+            f"the append could tear the journal{hint}")
+    return JournalWriteError(
+        f"{path}: journal write failed ({reason}); the journal is valid "
+        f"up to its last complete record{hint}")

@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.resilience.errors import ReproResilienceError
+
 #: Every fault kind this harness can inject.
 FAULT_KINDS = (
     "tft-false-positive",
@@ -50,7 +52,7 @@ FAULT_KINDS = (
 )
 
 
-class FaultInjectionError(ValueError):
+class FaultInjectionError(ReproResilienceError, ValueError):
     """A fault spec is malformed or cannot apply to this configuration."""
 
 

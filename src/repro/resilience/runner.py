@@ -23,39 +23,47 @@ import hashlib
 import json
 import multiprocessing
 import os
+import shutil
+import signal as _signal_module
+import threading
 import time
 import traceback
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.resilience import chaos
 from repro.resilience.checkpoint import config_digest, config_to_dict
+from repro.resilience.errors import (
+    CellCrash,
+    CellError,
+    CellTimeout,
+    DiskSpaceError,
+    JournalError,
+    JournalWriteError,
+    SweepInterrupted,
+    classify_write_error,
+)
 
 #: Designs a sweep accepts (mirrors SystemConfig.l1_design validation).
 VALID_DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
 
+#: Default free-space floor (bytes) checked before every journal append;
+#: hitting it pauses the sweep cleanly instead of tearing the journal.
+DEFAULT_MIN_FREE_BYTES = 32 * 2 ** 20
 
-class CellTimeout(TimeoutError):
-    """An isolated cell exceeded its wall-clock budget (transient)."""
-
-
-class CellCrash(RuntimeError):
-    """An isolated cell's worker died without reporting (transient)."""
-
-
-class CellError(RuntimeError):
-    """A cell raised inside the worker; carries the remote error shape."""
-
-    def __init__(self, error_class: str, message: str,
-                 traceback_text: str) -> None:
-        super().__init__(f"{error_class}: {message}")
-        self.error_class = error_class
-        self.message = message
-        self.traceback_text = traceback_text
-
-
-class JournalError(RuntimeError):
-    """A sweep journal is unreadable or inconsistent."""
+__all__ = [
+    "VALID_DESIGNS",
+    "CellTimeout",
+    "CellCrash",
+    "CellError",
+    "JournalError",
+    "FailedCell",
+    "SweepReport",
+    "SweepJournal",
+    "resilient_sweep",
+]
 
 
 @dataclass
@@ -97,11 +105,16 @@ class SweepReport:
     reused: int = 0
     #: cells actually simulated this invocation.
     executed: int = 0
+    #: the sweep stopped cleanly before finishing (disk guard / write
+    #: fault); the journal is intact and ``resume_hint`` continues it.
+    paused: bool = False
+    pause_reason: str = ""
+    resume_hint: str = ""
 
     @property
     def ok(self) -> bool:
         """True when every cell completed (possibly across resumes)."""
-        return not self.failures
+        return not self.failures and not self.paused
 
 
 # ------------------------------------------------------------------ journal
@@ -128,22 +141,65 @@ class SweepJournal:
     appends are flushed and fsynced, so after a crash the journal is
     valid up to (at worst) one torn trailing line, which :meth:`read`
     tolerates and resume re-runs.
+
+    Appends are guarded: a free-disk-space floor (``min_free_bytes``) is
+    checked *before* each write, so a filling disk pauses the sweep with
+    a :class:`DiskSpaceError` instead of fsyncing into ENOSPC and tearing
+    the file, and write failures surface as :class:`JournalWriteError`
+    (the on-disk journal stays valid and resumable either way).  The
+    chaos layer (:mod:`repro.resilience.chaos`) hooks the same path to
+    inject deterministic ENOSPC/EIO/torn-write faults.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path,
+                 min_free_bytes: Optional[int] = DEFAULT_MIN_FREE_BYTES
+                 ) -> None:
         self.path = Path(path)
+        self.min_free_bytes = min_free_bytes
 
     def exists(self) -> bool:
         return self.path.exists()
+
+    @property
+    def _resume_hint(self) -> str:
+        return (f"the journal is intact and resumable: "
+                f"python -m repro resume {self.path}")
+
+    def _guard_free_space(self, incoming_bytes: int) -> None:
+        if not self.min_free_bytes:
+            return
+        try:
+            free = shutil.disk_usage(self.path.parent or Path(".")).free
+        except OSError:
+            return  # cannot stat the filesystem; let the write decide
+        if free < max(self.min_free_bytes, incoming_bytes):
+            raise DiskSpaceError(
+                f"{self.path}: only {free} bytes free on the journal's "
+                f"filesystem (floor {self.min_free_bytes}) — pausing "
+                f"before the append could tear the journal; free space, "
+                f"then {self._resume_hint}")
 
     def _append(self, record: Dict) -> None:
         record = dict(record)
         record["checksum"] = _record_checksum(record)
         line = json.dumps(record, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        data = (line + "\n").encode("utf-8")
+        self._guard_free_space(len(data))
+        try:
+            torn = chaos.write_fault("journal", data)
+            with open(self.path, "ab") as handle:
+                handle.write(data if torn is None else torn)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise classify_write_error(exc, self.path,
+                                       self._resume_hint) from exc
+        if torn is not None:
+            raise JournalWriteError(
+                f"{self.path}: torn write — only {len(torn)} of "
+                f"{len(data)} bytes reached the disk (crash mid-append); "
+                f"{self._resume_hint}")
+        chaos.after_write("journal")
 
     def write_header(self, header_fields: Dict) -> None:
         """Start a fresh journal (truncating any previous one)."""
@@ -159,41 +215,59 @@ class SweepJournal:
     def append_failed(self, failure: FailedCell) -> None:
         self._append({"type": "failed", **failure.as_dict()})
 
-    def read(self) -> Tuple[Dict, Dict[Tuple[str, str], Dict]]:
-        """Return ``(header, {(workload, design): last record})``.
-
-        A corrupt or checksum-failing *trailing* line is treated as torn
-        by the crash and skipped; corruption anywhere else means the file
-        is not a journal we can trust and raises :class:`JournalError`.
-        Later records for a cell supersede earlier ones (a failed cell
-        re-run on resume appends a fresh record rather than rewriting).
+    def scan(self) -> Iterator[Tuple[int, str, Optional[Dict]]]:
+        """Yield ``(line_number, raw_line, record)`` for every non-blank
+        line; ``record`` is None when the line is corrupt (truncated JSON,
+        a non-object, or a checksum mismatch).  Never raises on content —
+        this is the salvage primitive ``repro doctor`` is built on.
         """
         if not self.path.exists():
             raise JournalError(f"no sweep journal at {self.path}")
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(self.path, "r", encoding="utf-8",
+                  errors="replace") as handle:
             lines = handle.read().splitlines()
-        records: List[Dict] = []
-        for number, line in enumerate(lines):
+        for number, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
                 good = (isinstance(record, dict)
                         and record.get("checksum") == _record_checksum(record))
-            except json.JSONDecodeError:
+            except (json.JSONDecodeError, TypeError):
                 good = False
-            if not good:
-                if number == len(lines) - 1:
+            yield number, line, (record if good else None)
+
+    def read(self) -> Tuple[Dict, Dict[Tuple[str, str], Dict]]:
+        """Return ``(header, {(workload, design): last record})``.
+
+        A corrupt or checksum-failing *trailing* line is treated as torn
+        by the crash and skipped; corruption anywhere else means the file
+        is not a journal we can trust as-is and raises
+        :class:`JournalError` naming the repair path — ``repro doctor
+        --repair`` quarantines the bad record(s) and rebuilds the journal
+        from every checksum-valid one.  Later records for a cell
+        supersede earlier ones (a failed cell re-run on resume appends a
+        fresh record rather than rewriting).
+        """
+        entries = list(self.scan())
+        records: List[Dict] = []
+        for position, (number, _line, record) in enumerate(entries):
+            if record is None:
+                if position == len(entries) - 1:
                     break  # torn trailing append from a crash: resume re-runs it
                 raise JournalError(
-                    f"{self.path}: corrupt record at line {number + 1} "
-                    f"(mid-file corruption, not a torn append) — delete the "
-                    f"journal to start the sweep over")
+                    f"{self.path}: corrupt record at line {number} "
+                    f"(mid-file corruption, not a torn append) — run "
+                    f"`python -m repro doctor --repair {self.path}` to "
+                    f"quarantine it to {self.path.name}.quarantine and "
+                    f"rebuild the journal from every intact record")
             records.append(record)
         if not records or records[0].get("type") != "header":
             raise JournalError(
-                f"{self.path}: missing journal header — delete the journal "
-                f"to start the sweep over")
+                f"{self.path}: missing journal header — the journal "
+                f"cannot identify its sweep; `repro doctor` can only "
+                f"salvage journals with an intact header, so re-run the "
+                f"sweep with a fresh journal")
         header = records[0]
         cells: Dict[Tuple[str, str], Dict] = {}
         for record in records[1:]:
@@ -267,15 +341,36 @@ def _run_cell(config, workload: str, trace_length: int, seed: int,
 
 
 def _cell_worker(connection, config, workload: str, trace_length: int,
-                 seed: int, fault_plan) -> None:
-    """Subprocess entry point: run a cell, ship the outcome over a pipe."""
+                 seed: int, fault_plan,
+                 heartbeat_s: Optional[float] = None) -> None:
+    """Subprocess entry point: run a cell, ship the outcome over a pipe.
+
+    With ``heartbeat_s``, a daemon thread sends ``("hb",)`` over the pipe
+    on that period so a supervisor can tell a *hung* worker (alive but
+    silent) from a slow one; the final result/error message shares the
+    pipe under a lock, so heartbeats never interleave with it.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    if heartbeat_s:
+        def _beat() -> None:
+            while not stop.wait(heartbeat_s):
+                try:
+                    with send_lock:
+                        connection.send(("hb",))
+                except OSError:
+                    return  # pipe gone: the parent moved on
+        threading.Thread(target=_beat, daemon=True).start()
     try:
         result = _run_cell(config, workload, trace_length, seed, fault_plan)
-        connection.send(("ok", result.to_dict()))
+        with send_lock:
+            connection.send(("ok", result.to_dict()))
     except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
-        connection.send(("error", type(exc).__name__, str(exc),
-                         traceback.format_exc()))
+        with send_lock:
+            connection.send(("error", type(exc).__name__, str(exc),
+                             traceback.format_exc()))
     finally:
+        stop.set()
         connection.close()
 
 
@@ -299,6 +394,8 @@ def _run_cell_isolated(config, workload: str, trace_length: int, seed: int,
         daemon=True)
     worker.start()
     sender.close()  # parent keeps only the read end
+    if chaos.worker_kill_due():
+        os.kill(worker.pid, _signal_module.SIGKILL)
     try:
         if not receiver.poll(timeout_s):
             raise CellTimeout(
@@ -386,7 +483,8 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                     mutate=None, journal_path=None, resume: bool = True,
                     isolate: bool = False, timeout_s: Optional[float] = None,
                     max_retries: int = 1, retry_backoff_s: float = 0.25,
-                    fault_plan=None, fail_fast: bool = False) -> SweepReport:
+                    fault_plan=None, fail_fast: bool = False,
+                    min_free_mb: Optional[float] = None) -> SweepReport:
     """Run a (workload x design) sweep that survives crashes and bad cells.
 
     Args:
@@ -410,10 +508,19 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
             armed on every cell (fault-injection campaigns).
         fail_fast: propagate cell errors instead of degrading them into
             :class:`FailedCell` records (classic ``sweep()`` behaviour).
+        min_free_mb: override the journal's free-disk-space floor (MB);
+            dropping below it pauses the sweep cleanly (``report.paused``)
+            instead of tearing the journal.
 
     Returns:
         a :class:`SweepReport`; ``report.results`` matches the classic
         ``sweep()`` return shape.
+
+    Journaled sweeps trap SIGINT/SIGTERM: the current cell finishes, the
+    journal is canonicalized, and :class:`SweepInterrupted` is raised —
+    the interrupted sweep resumes exactly where it stopped.  Journal
+    write trouble (ENOSPC, EIO, torn writes) pauses the sweep instead:
+    the report comes back with ``paused=True`` and a ``resume_hint``.
     """
     from repro.sim.stats import SimulationResult
     from repro.workloads.suite import get_workload
@@ -429,6 +536,8 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
         get_workload(workload)  # typo fails up front, naming valid choices
 
     journal = SweepJournal(journal_path) if journal_path is not None else None
+    if journal is not None and min_free_mb is not None:
+        journal.min_free_bytes = int(min_free_mb * 2 ** 20)
     done: Dict[Tuple[str, str], Dict] = {}
     if journal is not None:
         if resume and journal.exists():
@@ -450,39 +559,74 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
     failures: List[FailedCell] = []
     reused = 0
     executed = 0
+    pause: Optional[JournalWriteError] = None
+    interrupted: Optional[int] = None
     # mutate is called once per workload (the classic sweep() contract),
     # before the design is applied.
     per_workload_config: Dict[str, object] = {}
-    for workload, design in cells:
-        if workload not in per_workload_config:
-            per_workload_config[workload] = (
-                mutate(base_config, workload) if mutate else base_config)
-        config = per_workload_config[workload].with_design(design)
-        digest = config_digest(config)
-        record = done.get((workload, design))
-        if (record is not None and record.get("type") == "done"
-                and record.get("config_digest") == digest):
-            results[workload][design] = SimulationResult.from_dict(
-                record["result"])
-            reused += 1
-            continue
-        result, failure, _attempts = _execute_with_retries(
-            config, workload, trace_length, seed, fault_plan, isolate,
-            timeout_s, max_retries, retry_backoff_s, fail_fast)
-        executed += 1
-        if result is not None:
-            results[workload][design] = result
-            if journal is not None:
-                journal.append_done(workload, design, digest,
-                                    result.to_dict())
-        else:
-            failures.append(failure)
-            if journal is not None:
-                journal.append_failed(failure)
+    with ExitStack() as stack:
+        interrupt = None
+        if journal is not None:
+            # Graceful SIGINT/SIGTERM: finish the in-flight cell, leave a
+            # canonical journal, then raise SweepInterrupted below.
+            from repro.resilience.supervisor import trap_interrupts
+            interrupt = stack.enter_context(trap_interrupts())
+        for workload, design in cells:
+            if interrupt is not None and interrupt.signum is not None:
+                interrupted = interrupt.signum
+                break
+            if workload not in per_workload_config:
+                per_workload_config[workload] = (
+                    mutate(base_config, workload) if mutate else base_config)
+            config = per_workload_config[workload].with_design(design)
+            digest = config_digest(config)
+            record = done.get((workload, design))
+            if (record is not None and record.get("type") == "done"
+                    and record.get("config_digest") == digest):
+                results[workload][design] = SimulationResult.from_dict(
+                    record["result"])
+                reused += 1
+                continue
+            result, failure, _attempts = _execute_with_retries(
+                config, workload, trace_length, seed, fault_plan, isolate,
+                timeout_s, max_retries, retry_backoff_s, fail_fast)
+            executed += 1
+            try:
+                if result is not None:
+                    results[workload][design] = result
+                    if journal is not None:
+                        journal.append_done(workload, design, digest,
+                                            result.to_dict())
+                else:
+                    failures.append(failure)
+                    if journal is not None:
+                        journal.append_failed(failure)
+            except JournalWriteError as exc:
+                pause = exc
+                break
+        if interrupt is not None and interrupt.signum is not None \
+                and interrupted is None and (pause is not None
+                                             or executed + reused < len(cells)):
+            interrupted = interrupt.signum
     if journal is not None and journal.exists():
         # Collapse superseded records and order by cell enumeration, so a
         # resumed sweep leaves the same journal bytes as an uninterrupted
         # one (no-op when already canonical).
-        journal.rewrite_canonical(cells)
-    return SweepReport(results=results, failures=failures,
-                       reused=reused, executed=executed)
+        try:
+            journal.rewrite_canonical(cells)
+        except (JournalError, OSError):
+            # Disk trouble mid-pause: the append-order journal on disk is
+            # still valid and resumable, so keep it as-is.
+            pass
+    if interrupted is not None and pause is None:
+        raise SweepInterrupted(
+            interrupted, journal.path if journal is not None else None)
+    report = SweepReport(results=results, failures=failures,
+                         reused=reused, executed=executed)
+    if pause is not None:
+        report.paused = True
+        report.pause_reason = str(pause)
+        report.resume_hint = (f"python -m repro resume {journal.path}"
+                              if journal is not None else "")
+    return report
+

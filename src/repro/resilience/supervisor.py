@@ -1,0 +1,230 @@
+"""Self-healing supervision for parallel sweeps.
+
+:class:`SupervisedDispatcher` extends the plain process-pool dispatcher
+(:class:`repro.perf.parallel._ParallelDispatcher`) with the monitoring a
+multi-day campaign needs to actually reach its last cell:
+
+* **Heartbeats.**  Workers send ``("hb",)`` over their result pipe every
+  ``heartbeat_s``; a worker silent for ``hung_after_s`` is declared hung,
+  SIGKILLed, and its cell requeued under the sweep's existing retry
+  budget (a cell that hangs deterministically degrades into a
+  ``FailedCell`` with error class ``CellHung`` instead of wedging the
+  campaign).
+* **RSS watchdog.**  Each worker's resident set (``/proc/<pid>/statm``)
+  is sampled every ``check_interval_s``; a breach of ``max_rss_mb``
+  kills the worker and — when more than one slot is active — *downshifts*
+  the effective ``--jobs`` by one and requeues the cell for free: memory
+  pressure is treated as a concurrency problem, not the cell's fault.
+  Only at one job does a breach consume the retry budget
+  (``CellResourceLimit``), so a single cell that genuinely cannot fit
+  still degrades instead of looping.
+* **Free-disk guard.**  ``min_free_mb`` feeds the journal's pre-fsync
+  free-space floor; hitting it pauses the sweep cleanly with a resume
+  hint instead of tearing the journal on ENOSPC.
+* **Graceful interrupts.**  :func:`trap_interrupts` converts the first
+  SIGINT/SIGTERM into a flag the dispatcher polls: in-flight workers are
+  reaped, buffered completed cells are flushed, the journal is
+  canonicalized, and the sweep raises
+  :class:`~repro.resilience.errors.SweepInterrupted` (CLI exit
+  ``128 + signum``).  A second Ctrl-C falls through to the default
+  KeyboardInterrupt for users who really mean it.
+
+None of this changes journal bytes: supervision manages *processes*, the
+enumeration-order record buffering in ``parallel_sweep`` is untouched,
+so the serial ≡ parallel differential goldens hold under supervision.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.parallel import _ParallelDispatcher
+from repro.resilience.errors import CellHung, CellResourceLimit
+
+__all__ = [
+    "SupervisionPolicy",
+    "SupervisedDispatcher",
+    "InterruptState",
+    "trap_interrupts",
+    "supervised_sweep",
+    "worker_rss_bytes",
+    "free_disk_bytes",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Watchdog thresholds for a supervised parallel sweep.
+
+    Attributes:
+        heartbeat_s: worker heartbeat period (0/None disables heartbeats
+            and therefore hung detection).
+        hung_after_s: a worker silent for this long is hung (killed and
+            requeued); must comfortably exceed ``heartbeat_s``.
+        max_rss_mb: per-worker resident-set ceiling in MB (None disables
+            the RSS watchdog).
+        min_free_mb: free-disk floor (MB) for the journal's pre-fsync
+            guard.
+        check_interval_s: watchdog sampling period; also bounds how long
+            an interrupt can go unnoticed.
+    """
+
+    heartbeat_s: Optional[float] = 1.0
+    hung_after_s: Optional[float] = 30.0
+    max_rss_mb: Optional[float] = None
+    min_free_mb: Optional[float] = 32.0
+    check_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be > 0")
+        if self.heartbeat_s is not None and self.heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0")
+        if (self.heartbeat_s and self.hung_after_s is not None
+                and self.hung_after_s <= self.heartbeat_s):
+            raise ValueError(
+                f"hung_after_s ({self.hung_after_s}) must exceed "
+                f"heartbeat_s ({self.heartbeat_s}); a healthy worker "
+                f"would be declared hung between beats")
+
+
+# ------------------------------------------------------------ host probes
+
+def worker_rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of ``pid`` in bytes, or None when unavailable
+    (non-Linux hosts, or the process already exited)."""
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def free_disk_bytes(path) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path`` (None on failure)."""
+    import shutil
+
+    try:
+        return shutil.disk_usage(path).free
+    except OSError:
+        return None
+
+
+# ------------------------------------------------------- interrupt trapping
+
+class InterruptState:
+    """Which signal (if any) asked the sweep to stop gracefully."""
+
+    __slots__ = ("signum",)
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+
+
+@contextmanager
+def trap_interrupts(signals=(signal.SIGINT, signal.SIGTERM)):
+    """Trap SIGINT/SIGTERM into a polled flag for graceful shutdown.
+
+    The first signal sets ``state.signum`` and returns, letting the sweep
+    finish its cell, flush buffers, and canonicalize the journal; a
+    second SIGINT raises ``KeyboardInterrupt`` immediately (the user
+    insists).  Outside the main thread, where handlers cannot be
+    installed, the state is yielded unarmed and default signal behaviour
+    applies.
+    """
+    state = InterruptState()
+
+    def _handler(signum, frame) -> None:
+        if state.signum is None:
+            state.signum = signum
+        elif signum == signal.SIGINT:
+            raise KeyboardInterrupt
+
+    previous = {}
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, _handler)
+    except ValueError:
+        previous = {}  # not the main thread: no handlers were installed
+    try:
+        yield state
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+# --------------------------------------------------------------- dispatcher
+
+class SupervisedDispatcher(_ParallelDispatcher):
+    """A parallel dispatcher with heartbeat, hang, and RSS watchdogs."""
+
+    def __init__(self, *args, policy: SupervisionPolicy, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+        self.heartbeat_s = policy.heartbeat_s or None
+        #: forensic counters surfaced for tests and reporting
+        self.hung_kills = 0
+        self.rss_kills = 0
+        self.downshifts = 0
+
+    def _poll_interval(self) -> Optional[float]:
+        return self.policy.check_interval_s
+
+    def _watchdogs(self, retries, on_complete) -> None:
+        policy = self.policy
+        now = time.monotonic()
+        for key, running in list(self._in_flight.items()):
+            if running.receiver.poll(0):
+                continue  # a result/heartbeat is waiting; let recv see it
+            task = running.task
+            if (self.heartbeat_s and policy.hung_after_s is not None
+                    and now - running.last_heartbeat > policy.hung_after_s):
+                del self._in_flight[key]
+                self._reap(running)
+                self.hung_kills += 1
+                self._transient(running, CellHung(
+                    f"cell ({task.workload}, {task.design}) worker sent no "
+                    f"heartbeat for {policy.hung_after_s:g}s — killed as "
+                    f"hung"), retries, on_complete)
+                continue
+            if policy.max_rss_mb is not None:
+                rss = worker_rss_bytes(running.worker.pid)
+                if rss is not None and rss > policy.max_rss_mb * 2 ** 20:
+                    del self._in_flight[key]
+                    self._reap(running)
+                    self.rss_kills += 1
+                    if self.jobs > 1:
+                        # Memory pressure is a concurrency problem: shed a
+                        # slot and requeue the cell without spending its
+                        # retry budget.
+                        self.jobs -= 1
+                        self.downshifts += 1
+                        task.attempts -= 1
+                        task.ready_at = now
+                        retries.append(task)
+                    else:
+                        self._transient(running, CellResourceLimit(
+                            f"cell ({task.workload}, {task.design}) worker "
+                            f"RSS {rss / 2 ** 20:.0f}MB exceeded the "
+                            f"{policy.max_rss_mb:g}MB ceiling with no "
+                            f"concurrency left to shed"), retries,
+                            on_complete)
+
+
+def supervised_sweep(base_config, workloads,
+                     policy: Optional[SupervisionPolicy] = None, **kwargs):
+    """Run :func:`repro.perf.parallel.parallel_sweep` under supervision.
+
+    Thin convenience wrapper: a default :class:`SupervisionPolicy` is
+    used when none is given; all other arguments are forwarded.
+    """
+    from repro.perf.parallel import parallel_sweep
+
+    return parallel_sweep(base_config, workloads,
+                          policy=policy or SupervisionPolicy(), **kwargs)

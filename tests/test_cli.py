@@ -105,3 +105,92 @@ class TestSanitizeFlag:
     def test_run_green_under_sanitizer(self, capsys):
         assert main(["run", "astar", "--length", "2000", "--sanitize"]) == 0
         assert "runtime_cycles" in capsys.readouterr().out
+
+
+class TestDoctorCommand:
+    def _journal(self, tmp_path, name="j.jsonl"):
+        path = tmp_path / name
+        assert main(["sweep", "--workloads", "gups", "--length", "2000",
+                     "--journal", str(path)]) == 0
+        return path
+
+    def test_doctor_healthy_journal(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        capsys.readouterr()
+        assert main(["doctor", str(path)]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_doctor_reports_corruption_then_repairs(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:40] + "XGARBAGEX" + lines[1][49:]
+        path.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["doctor", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt record" in captured.out
+        assert "--repair" in captured.err
+        assert main(["doctor", "--repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "quarantined" in out
+        assert (tmp_path / "j.jsonl.quarantine").exists()
+        # the repaired journal resumes cleanly
+        assert main(["resume", str(path)]) == 0
+
+    def test_doctor_json_output(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        capsys.readouterr()
+        assert main(["doctor", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "journal"
+        assert payload["healthy"] is True
+
+    def test_doctor_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSupervisionFlags:
+    def test_sweep_parses_chaos_and_watchdog_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "2", "--chaos", "worker-kill@1",
+             "--chaos", "journal-torn@0:40", "--hung-after", "5",
+             "--max-rss-mb", "512", "--min-free-mb", "64"])
+        assert args.chaos == ["worker-kill@1", "journal-torn@0:40"]
+        assert args.hung_after == 5.0
+        assert args.max_rss_mb == 512.0
+        assert args.min_free_mb == 64.0
+
+    def test_policy_built_unless_no_supervise(self):
+        from repro.cli import _policy_from_args
+        args = build_parser().parse_args(["sweep", "--jobs", "2"])
+        policy = _policy_from_args(args)
+        assert policy is not None and policy.hung_after_s == 30.0
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "2", "--no-supervise"])
+        assert _policy_from_args(args) is None
+
+    def test_bad_chaos_spec_is_usage_error(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "gups", "--length", "2000",
+                     "--jobs", "2", "--chaos", "bogus@1",
+                     "--journal", str(tmp_path / "j.jsonl")]) == 2
+        assert "unknown host fault kind" in capsys.readouterr().err
+
+    def test_chaos_worker_kill_sweep_self_heals(self, tmp_path, capsys):
+        journal = tmp_path / "kill.jsonl"
+        assert main(["sweep", "--workloads", "gups", "--length", "2000",
+                     "--jobs", "2", "--retries", "2",
+                     "--chaos", "worker-kill@0",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+
+    def test_chaos_enospc_pauses_with_exit_4(self, tmp_path, capsys):
+        journal = tmp_path / "pause.jsonl"
+        assert main(["sweep", "--workloads", "gups", "--length", "2000",
+                     "--jobs", "2", "--chaos", "journal-enospc@1",
+                     "--journal", str(journal)]) == 4
+        captured = capsys.readouterr()
+        assert "PAUSED" in captured.err
+        assert "resume" in captured.err
+        # the paused journal resumes to completion
+        assert main(["resume", str(journal), "--jobs", "2"]) == 0
