@@ -18,7 +18,12 @@
   emitting ``BENCH_perf.json`` with an optional regression gate
   (``--baseline``/``--max-regression``);
 * ``table3``     — print the paper's Table III latency configurations;
-* ``lint``       — run the simlint static analyser (``repro lint src/``).
+* ``lint``       — run the simlint static analyser (``repro lint src/``);
+* ``serve``      — run the fault-tolerant simulation service: an HTTP/
+  JSON-RPC front end over the same sweep machinery, with per-client
+  quotas, a bounded pending pool, per-request deadlines, a
+  content-addressed result cache, and graceful drain on SIGINT/SIGTERM
+  (see :mod:`repro.serve`).
 
 Every command accepts ``--seed`` and ``--length`` so results are exactly
 reproducible, and every simulating command accepts ``--sanitize`` to arm
@@ -37,7 +42,10 @@ lint/doctor found issues); 2 usage/configuration errors (including
 unrepairable journals); 3 the sanitizer tripped; 4 a sweep paused
 cleanly (disk guard or journal write fault — ``repro resume``
 continues); 128+signum on SIGINT/SIGTERM (130/143) after flushing and
-canonicalizing the journal.
+canonicalizing the journal.  ``repro serve`` shares the contract: a
+signalled server drains (in-flight requests flush their journals,
+clients get resume tokens) and exits 128+signum; a ``shutdown`` RPC
+drains and exits 0.
 """
 
 from __future__ import annotations
@@ -289,6 +297,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _apply_sanitizer_override(args)
     from repro.resilience import chaos
 
+    if args.resume and not args.journal:
+        raise ValueError(
+            "--resume needs a journal to resume from; valid forms: "
+            "`repro sweep --journal PATH --resume` (reuse completed "
+            "cells from PATH) or `repro resume PATH` (continue an "
+            "interrupted sweep from its own header)")
     names = args.workloads or list(WORKLOADS)
     jobs = args.jobs or 1
     with chaos.armed(_chaos_plan_from_args(args)):
@@ -404,6 +418,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     payload = run_benchmark(trace_length=args.length, seed=args.seed,
                             repeats=args.repeats, jobs=args.jobs,
                             quick=args.quick)
+    if args.serve:
+        from repro.perf.bench import bench_serve
+        payload["serve"] = bench_serve(seed=args.seed)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -419,6 +436,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         rows.append([f"parallel x{parallel['jobs']}",
                      f"{parallel['wall_s']:.3f}s "
                      f"({parallel['speedup_vs_serial']:.2f}x)"])
+    if "serve" in payload:
+        serve = payload["serve"]
+        rows.append(["serve round-trips/sec (cached)",
+                     f"{serve['round_trips_per_sec']:.1f}"])
+        rows.append(["serve p50/p95",
+                     f"{serve['p50_s'] * 1e3:.1f}ms / "
+                     f"{serve['p95_s'] * 1e3:.1f}ms"])
     print(format_table(["metric", "value"], rows,
                        title=f"bench ({len(payload['params']['workloads'])}"
                              f" workloads x "
@@ -434,6 +458,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"regression check passed against {args.baseline}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service until drained; exit per the contract."""
+    from pathlib import Path
+
+    from repro.resilience import chaos
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        port_file=Path(args.port_file) if args.port_file else None,
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+        quota_capacity=args.quota_capacity,
+        quota_refill_per_s=args.quota_refill,
+        spool=Path(args.spool),
+        cache_capacity=args.cache_capacity,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        deadline_s=args.deadline,
+        policy=_policy_from_args(args),
+    )
+    server = SimulationServer(config)
+    print(f"repro serve: spool {config.spool}, {config.jobs} worker "
+          f"slot(s), {config.max_pending} pending max", file=sys.stderr)
+    with chaos.armed(_chaos_plan_from_args(args)):
+        exit_code = server.run_forever()
+    print(f"repro serve: drained, exit {exit_code}", file=sys.stderr)
+    return exit_code
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -553,11 +608,55 @@ def build_parser() -> argparse.ArgumentParser:
                             "than this fraction below the baseline")
     bench.add_argument("--jobs", metavar="N", type=int, default=1,
                        help="also time a parallel sweep with N workers")
+    bench.add_argument("--serve", action="store_true",
+                       help="also measure a serve request round-trip "
+                            "(cache-hit path: protocol + admission + "
+                            "journal replay, zero simulation)")
     bench.add_argument("--length", type=int, default=20_000,
                        help="trace length per cell")
     bench.add_argument("--repeats", type=int, default=3,
                        help="repeats (throughput uses the fastest)")
     bench.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve", help="run the fault-tolerant simulation service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--port-file", metavar="PATH", default=None,
+                       help="write the bound port to PATH once listening "
+                            "(lets scripts find a --port 0 server)")
+    serve.add_argument("--jobs", metavar="N", type=int, default=2,
+                       help="worker slots shared by all requests (a "
+                            "request's jobs param is clamped to this)")
+    serve.add_argument("--max-pending", metavar="N", type=int, default=8,
+                       help="bound on queued+running jobs; beyond it new "
+                            "requests get a structured overload error")
+    serve.add_argument("--quota-capacity", metavar="N", type=float,
+                       default=16.0,
+                       help="per-client token-bucket burst size")
+    serve.add_argument("--quota-refill", metavar="PER_SEC", type=float,
+                       default=4.0,
+                       help="per-client token refill rate (requests/sec)")
+    serve.add_argument("--spool", metavar="DIR", default="serve-spool",
+                       help="directory for request journals, sidecars, "
+                            "and the persistent result cache")
+    serve.add_argument("--cache-capacity", metavar="N", type=int,
+                       default=256,
+                       help="in-memory result-cache entries (disk tier "
+                            "is unbounded)")
+    serve.add_argument("--timeout", metavar="SECONDS", type=float,
+                       default=30.0,
+                       help="default per-cell wall-clock budget for "
+                            "requests that name none")
+    serve.add_argument("--retries", metavar="N", type=int, default=1,
+                       help="default transient-failure retries per cell")
+    serve.add_argument("--deadline", metavar="SECONDS", type=float,
+                       default=None,
+                       help="default whole-request deadline (covers "
+                            "queueing and execution; unbounded if unset)")
+    _add_supervision_arguments(serve)
 
     lint = sub.add_parser("lint",
                           help="run the simlint static analyser")
@@ -581,6 +680,7 @@ _HANDLERS = {
     "table3": cmd_table3,
     "bench": cmd_bench,
     "lint": cmd_lint,
+    "serve": cmd_serve,
 }
 
 
@@ -590,7 +690,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     Exit codes: 0 success; 1 completed with failures (failed sweep
     cells, lint/doctor findings); 2 usage/configuration errors; 3
     sanitizer violation; 4 a sweep paused cleanly and is resumable;
-    128+signum interrupted by a signal after flushing the journal.
+    128+signum interrupted by a signal after flushing the journal
+    (``serve`` drains first: in-flight requests journal and hand their
+    clients resume tokens).
     """
     from repro.devtools.sanitize import SanitizerError
     from repro.resilience.errors import (
@@ -619,6 +721,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # A path argument that is a directory, unreadable, or missing is
+        # a usage error, not a crash (BrokenPipeError is handled above).
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

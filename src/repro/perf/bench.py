@@ -197,6 +197,56 @@ def run_benchmark(workloads: Optional[Sequence[str]] = None,
     return payload
 
 
+def bench_serve(workload: str = "gups", trace_length: int = 2_000,
+                seed: int = 42, round_trips: int = 20) -> Dict:
+    """Measure a ``repro serve`` request round-trip.
+
+    Boots an in-process server on a loopback port, issues one priming
+    ``run`` request (which simulates and fills the cache/journal), then
+    times ``round_trips`` identical requests — each a full HTTP +
+    JSON-RPC + admission + journal-replay cycle with zero simulation.
+    The figure is the service overhead a cached client sees, so a
+    protocol or admission-path regression moves it even though the
+    simulator is untouched.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, serve_in_thread
+
+    params = {"workload": workload, "design": "seesaw",
+              "length": trace_length, "seed": seed}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        # The bench intentionally hammers one client; quota admission is
+        # not what's being measured, so give it ample headroom.
+        config = ServeConfig(port=0, jobs=1,
+                             quota_capacity=round_trips + 10,
+                             quota_refill_per_s=1000.0,
+                             spool=Path(tmp) / "spool")
+        with serve_in_thread(config) as server:
+            client = ServeClient(port=server.bound_port,
+                                 client_id="bench",
+                                 timeout_s=120.0)
+            primed = client.call("run", params)
+            samples: List[float] = []
+            for _ in range(max(1, round_trips)):
+                start = time.perf_counter()
+                reply = client.call("run", params)
+                samples.append(time.perf_counter() - start)
+                if reply["simulated"]:
+                    raise RuntimeError(
+                        "bench_serve: duplicate request re-simulated — "
+                        "the result cache/journal replay is broken")
+    return {
+        "round_trips": len(samples),
+        "priming_simulated": primed["simulated"],
+        "round_trips_per_sec": len(samples) / sum(samples),
+        "p50_s": percentile(samples, 50),
+        "p95_s": percentile(samples, 95),
+    }
+
+
 def check_regression(current: Dict, baseline: Dict,
                      max_regression: float = 0.20) -> List[str]:
     """Compare normalized throughput against a committed baseline.

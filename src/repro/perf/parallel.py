@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.resilience import chaos
 from repro.resilience.checkpoint import config_digest, config_to_dict
 from repro.resilience.errors import (
+    DeadlineExceeded,
     JournalError,
     JournalWriteError,
     ReproResilienceError,
@@ -51,6 +52,8 @@ from repro.resilience.runner import (
     SweepReport,
     VALID_DESIGNS,
     _cell_worker,
+    retry_delay,
+    retry_rng_for,
 )
 
 
@@ -101,7 +104,9 @@ class _ParallelDispatcher:
 
     def __init__(self, jobs: int, trace_length: int, seed: int, fault_plan,
                  timeout_s: Optional[float], max_retries: int,
-                 retry_backoff_s: float, fail_fast: bool) -> None:
+                 retry_backoff_s: float, fail_fast: bool,
+                 retry_rng=None,
+                 deadline_at: Optional[float] = None) -> None:
         self.jobs = max(1, jobs)
         self.trace_length = trace_length
         self.seed = seed
@@ -110,6 +115,11 @@ class _ParallelDispatcher:
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.fail_fast = fail_fast
+        #: shared seeded RNG for deterministic retry-backoff jitter.
+        self.retry_rng = (retry_rng if retry_rng is not None
+                          else retry_rng_for(seed))
+        #: monotonic instant the whole sweep must stop by (None = none).
+        self.deadline_at = deadline_at
         method = ("fork"
                   if "fork" in multiprocessing.get_all_start_methods()
                   else "spawn")
@@ -164,12 +174,18 @@ class _ParallelDispatcher:
                    on_complete) -> None:
         """Timeout/crash: retry with backoff, else degrade (or raise)."""
         task = running.task
-        if task.attempts <= self.max_retries:
-            task.ready_at = (time.monotonic()
-                             + self.retry_backoff_s
-                             * 2 ** (task.attempts - 1))
-            retries.append(task)
-            return
+        if (task.attempts <= self.max_retries
+                and not isinstance(exc, DeadlineExceeded)):
+            delay = retry_delay(self.retry_backoff_s, task.attempts,
+                                self.retry_rng)
+            ready_at = time.monotonic() + delay
+            if self.deadline_at is None or ready_at < self.deadline_at:
+                task.ready_at = ready_at
+                retries.append(task)
+                return
+            exc = DeadlineExceeded(
+                f"cell ({task.workload}, {task.design}) has no deadline "
+                f"budget left for a retry after: {exc}")
         if self.fail_fast:
             self._shutdown()
             raise exc
@@ -193,6 +209,33 @@ class _ParallelDispatcher:
         return (self.interrupt is not None
                 and self.interrupt.signum is not None)
 
+    def _expire_deadline(self, pending, retries: List[_CellTask],
+                         on_complete) -> None:
+        """The sweep deadline passed: kill in-flight workers and degrade
+        every unfinished cell into a ``DeadlineExceeded`` FailedCell (all
+        journaled, so a resume re-runs exactly these cells)."""
+        exc = DeadlineExceeded("sweep deadline exceeded")
+        if self.fail_fast:
+            self._shutdown()
+            raise exc
+        stranded: List[_CellTask] = []
+        for key in list(self._in_flight):
+            running = self._in_flight.pop(key)
+            self._reap(running)
+            stranded.append(running.task)
+        stranded.extend(retries)
+        retries.clear()
+        stranded.extend(pending)
+        pending.clear()
+        for task in stranded:
+            on_complete(task, "failed", FailedCell(
+                workload=task.workload, design=task.design,
+                error_class=type(exc).__name__,
+                message=f"cell ({task.workload}, {task.design}) "
+                        f"unfinished when the sweep deadline expired",
+                traceback="", config_digest=task.digest,
+                attempts=task.attempts))
+
     # ------------------------------------------------------------------ run
 
     def run(self, tasks: List[_CellTask],
@@ -208,6 +251,9 @@ class _ParallelDispatcher:
                 if self._interrupted():
                     break
                 now = time.monotonic()
+                if self.deadline_at is not None and now >= self.deadline_at:
+                    self._expire_deadline(pending, retries, on_complete)
+                    break
                 for task in [t for t in retries if t.ready_at <= now]:
                     retries.remove(task)
                     pending.append(task)
@@ -229,6 +275,10 @@ class _ParallelDispatcher:
                 if retries:
                     due = max(0.0, min(t.ready_at for t in retries) - now)
                     timeout = due if timeout is None else min(timeout, due)
+                if self.deadline_at is not None:
+                    remaining = max(0.0, self.deadline_at - now)
+                    timeout = (remaining if timeout is None
+                               else min(timeout, remaining))
                 interval = self._poll_interval()
                 if interval is not None:
                     timeout = (interval if timeout is None
@@ -301,7 +351,9 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
                    jobs: Optional[int] = None,
                    timeout_s: Optional[float] = None, max_retries: int = 1,
                    retry_backoff_s: float = 0.25, fault_plan=None,
-                   fail_fast: bool = False, policy=None) -> SweepReport:
+                   fail_fast: bool = False, policy=None,
+                   deadline_s: Optional[float] = None,
+                   retry_rng=None, interrupt_state=None) -> SweepReport:
     """Run a journaled (workload x design) sweep across worker processes.
 
     Drop-in parallel variant of
@@ -325,6 +377,17 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
         policy: a :class:`repro.resilience.supervisor.SupervisionPolicy`
             enabling heartbeat/hang/RSS watchdogs and the free-disk
             guard; ``None`` runs the plain unsupervised dispatcher.
+        deadline_s: overall wall-clock budget; when it expires, in-flight
+            workers are killed and every unfinished cell degrades into a
+            ``DeadlineExceeded`` FailedCell (journaled, re-run on
+            resume).  Per-request deadlines in ``repro serve`` ride this.
+        retry_rng: seeded RNG for deterministic backoff jitter
+            (defaults to one derived from ``seed``; see
+            :func:`repro.resilience.runner.retry_rng_for`).
+        interrupt_state: externally owned
+            :class:`~repro.resilience.supervisor.InterruptState` polled
+            instead of trapping process signals — lets a server drain
+            one request without signalling the whole process.
         (all other arguments match ``resilient_sweep``.)
     """
     from repro.resilience.runner import resilient_sweep
@@ -339,7 +402,9 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             designs=designs, mutate=mutate, journal_path=journal_path,
             resume=resume, isolate=False, timeout_s=timeout_s,
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
-            fault_plan=fault_plan, fail_fast=fail_fast)
+            fault_plan=fault_plan, fail_fast=fail_fast,
+            deadline_s=deadline_s, retry_rng=retry_rng,
+            interrupt_state=interrupt_state)
 
     workloads = list(workloads)
     designs = list(designs)
@@ -360,8 +425,8 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
     # through the final flush — so a signal anywhere in it degrades into
     # a graceful, resumable stop instead of a torn KeyboardInterrupt.
     stack = ExitStack()
-    interrupt = None
-    if journal is not None:
+    interrupt = interrupt_state
+    if interrupt is None and journal is not None:
         from repro.resilience.supervisor import trap_interrupts
 
         interrupt = stack.enter_context(trap_interrupts())
@@ -436,7 +501,9 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             jobs=jobs, trace_length=trace_length, seed=seed,
             fault_plan=fault_plan, timeout_s=timeout_s,
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
-            fail_fast=fail_fast)
+            fail_fast=fail_fast, retry_rng=retry_rng,
+            deadline_at=(time.monotonic() + deadline_s
+                         if deadline_s is not None else None))
         if policy is not None:
             from repro.resilience.supervisor import SupervisedDispatcher
 

@@ -37,15 +37,21 @@ from repro.resilience.errors import (
     EXIT_PAUSED,
     EXIT_SANITIZER,
     EXIT_USAGE,
+    AdmissionError,
     CellCrash,
     CellHung,
     CellResourceLimit,
     CellTimeout,
     CheckpointError,
+    DeadlineExceeded,
     DiskSpaceError,
+    JobNotFound,
     JournalError,
     JournalWriteError,
+    PoolOverloaded,
+    QuotaExceeded,
     ReproResilienceError,
+    ServerDraining,
     SweepInterrupted,
 )
 from repro.resilience.chaos import (
@@ -95,14 +101,20 @@ __all__ = [
     "EXIT_PAUSED",
     "EXIT_INTERRUPT_BASE",
     "ReproResilienceError",
+    "AdmissionError",
     "CellCrash",
     "CellHung",
     "CellResourceLimit",
     "CellTimeout",
     "CheckpointError",
+    "DeadlineExceeded",
     "DiskSpaceError",
+    "JobNotFound",
     "JournalError",
     "JournalWriteError",
+    "PoolOverloaded",
+    "QuotaExceeded",
+    "ServerDraining",
     "SweepInterrupted",
     "HOST_FAULT_KINDS",
     "HostFaultError",

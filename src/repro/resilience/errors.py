@@ -22,6 +22,17 @@ code  meaning
 130   interrupted by SIGINT — journal flushed, canonicalized,
       resumable (128 + signal number; SIGTERM exits 143)
 ====  ========================================================
+
+``repro serve`` shares the contract: 0 after a clean ``shutdown`` RPC,
+2 for usage errors, and 130/143 after a signal-triggered graceful drain
+(in-flight requests flush their journals, clients receive resumable-job
+tokens, then the process exits 128 + signum).
+
+The serve layer adds *admission* errors — structured request rejections
+(:class:`PoolOverloaded`, :class:`QuotaExceeded`, :class:`ServerDraining`,
+:class:`JobNotFound`) that map to JSON-RPC error codes instead of process
+exits, and :class:`DeadlineExceeded`, the per-request deadline that
+degrades unfinished cells into ``FailedCell`` records.
 """
 
 from __future__ import annotations
@@ -64,6 +75,16 @@ class CellHung(CellTimeout):
 class CellResourceLimit(ReproResilienceError):
     """A supervised worker breached its RSS ceiling with no concurrency
     left to shed (transient; retried by the usual budget)."""
+
+
+class DeadlineExceeded(CellTimeout):
+    """A sweep/request deadline expired.
+
+    Unlike a per-cell wall-clock timeout, a deadline is *never* retried —
+    the time budget is gone — so in-flight cells are killed and every
+    unfinished cell degrades into a ``FailedCell`` record with this error
+    class (the journal stays resumable: failed cells re-run on resume).
+    """
 
 
 class CellError(ReproResilienceError):
@@ -131,6 +152,54 @@ class SweepInterrupted(ReproResilienceError):
     @property
     def exit_code(self) -> int:
         return EXIT_INTERRUPT_BASE + self.signum
+
+
+class AdmissionError(ReproResilienceError):
+    """Base of serve-side request rejections.
+
+    Admission errors are *structured* by design: an overloaded or
+    draining server answers with a JSON-RPC error carrying ``rpc_code``
+    and a machine-readable ``data`` payload (retry-after hints, resume
+    tokens) — it never hangs the client and never tears server state.
+    ``retry_after_s`` is the server's backoff suggestion, surfaced in the
+    error data (the HTTP-429 convention, carried over JSON-RPC).
+    """
+
+    #: JSON-RPC error code (server-defined -32000 range).
+    rpc_code = -32000
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None, **data) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.data = dict(data)
+        if retry_after_s is not None:
+            self.data["retry_after_s"] = round(retry_after_s, 3)
+
+
+class PoolOverloaded(AdmissionError):
+    """The bounded pending-request pool is full (structured 429)."""
+
+    rpc_code = -32001
+
+
+class QuotaExceeded(AdmissionError):
+    """The client's token-bucket quota is exhausted (structured 429)."""
+
+    rpc_code = -32002
+
+
+class ServerDraining(AdmissionError):
+    """The server is draining after SIGINT/SIGTERM/shutdown; new requests
+    are rejected, in-flight ones flush and return resumable tokens."""
+
+    rpc_code = -32003
+
+
+class JobNotFound(AdmissionError):
+    """A ``status`` request named a job/token the server does not know."""
+
+    rpc_code = -32004
 
 
 def classify_write_error(exc: OSError, path,

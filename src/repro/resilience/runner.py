@@ -23,6 +23,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import random
 import shutil
 import signal as _signal_module
 import threading
@@ -39,6 +40,7 @@ from repro.resilience.errors import (
     CellCrash,
     CellError,
     CellTimeout,
+    DeadlineExceeded,
     DiskSpaceError,
     JournalError,
     JournalWriteError,
@@ -53,8 +55,12 @@ VALID_DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
 #: hitting it pauses the sweep cleanly instead of tearing the journal.
 DEFAULT_MIN_FREE_BYTES = 32 * 2 ** 20
 
+#: Ceiling on any single retry backoff sleep ("bounded exponential").
+MAX_RETRY_BACKOFF_S = 30.0
+
 __all__ = [
     "VALID_DESIGNS",
+    "MAX_RETRY_BACKOFF_S",
     "CellTimeout",
     "CellCrash",
     "CellError",
@@ -63,7 +69,36 @@ __all__ = [
     "SweepReport",
     "SweepJournal",
     "resilient_sweep",
+    "retry_delay",
+    "retry_rng_for",
 ]
+
+
+def retry_delay(base_s: float, attempt: int, rng=None,
+                max_s: float = MAX_RETRY_BACKOFF_S) -> float:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``attempt`` is 1-based (the attempt that just failed).  With ``rng``
+    — a seeded ``random.Random`` threaded through the sweep — the delay
+    is stretched by a jitter factor in [1.0, 1.5) drawn from that RNG, so
+    concurrent retries de-synchronize while the whole schedule stays
+    reproducible for a given sweep seed.  Without ``rng`` the delay is
+    the plain exponential.  Always capped at ``max_s``.
+    """
+    delay = base_s * 2 ** max(0, attempt - 1)
+    if rng is not None:
+        delay *= 1.0 + 0.5 * rng.random()
+    return min(delay, max_s)
+
+
+def retry_rng_for(seed: int) -> random.Random:
+    """The shared seeded RNG for a sweep's retry jitter.
+
+    Derived from the sweep seed (offset so it never aliases the trace
+    RNG stream), so two runs of the same sweep sleep the same jittered
+    backoff sequence — service retry tests are reproducible.
+    """
+    return random.Random((seed & 0xFFFFFFFF) ^ 0x5EE5AB0F)
 
 
 @dataclass
@@ -350,6 +385,15 @@ def _cell_worker(connection, config, workload: str, trace_length: int,
     silent) from a slow one; the final result/error message shares the
     pipe under a lock, so heartbeats never interleave with it.
     """
+    try:
+        # A forked worker inherits the parent's signal wakeup fd.  Under
+        # an asyncio parent (repro serve) that fd is the event loop's
+        # self-pipe, so a signal delivered to the *worker* (e.g. the
+        # reaper's terminate()) would be read by the parent's loop as its
+        # own and trigger a spurious drain.  Detach it first thing.
+        _signal_module.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass  # not the main thread / platform quirk: nothing inherited
     send_lock = threading.Lock()
     stop = threading.Event()
     if heartbeat_s:
@@ -424,7 +468,8 @@ def _run_cell_isolated(config, workload: str, trace_length: int, seed: int,
 def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                           fault_plan, isolate: bool,
                           timeout_s: Optional[float], max_retries: int,
-                          retry_backoff_s: float, fail_fast: bool):
+                          retry_backoff_s: float, fail_fast: bool,
+                          rng=None, deadline_at: Optional[float] = None):
     """Run one cell, retrying transient failures.
 
     Returns ``(result, None, attempts)`` on success, or
@@ -432,25 +477,63 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
     deterministic error occurs (no point re-running those).  With
     ``fail_fast`` the error propagates instead of degrading (the classic
     ``sweep()`` contract when no journal is in play).
+
+    ``rng`` is the sweep's shared seeded RNG for backoff jitter (see
+    :func:`retry_delay`).  ``deadline_at`` is a ``time.monotonic``
+    deadline: the per-attempt watchdog is clamped to the remaining
+    budget, and a retry that cannot fit degrades immediately with error
+    class ``DeadlineExceeded`` instead of sleeping past the deadline.
     """
     digest = config_digest(config)
     attempt = 0
     while True:
         attempt += 1
+        effective_timeout = timeout_s
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                exc = DeadlineExceeded(
+                    f"cell ({workload}, {config.l1_design}) hit the sweep "
+                    f"deadline before attempt {attempt} could start")
+                if fail_fast:
+                    raise exc
+                return None, FailedCell(
+                    workload=workload, design=config.l1_design,
+                    error_class=type(exc).__name__, message=str(exc),
+                    traceback="", config_digest=digest,
+                    attempts=attempt - 1), attempt - 1
+            effective_timeout = (remaining if timeout_s is None
+                                 else min(timeout_s, remaining))
         try:
-            if isolate or timeout_s is not None:
+            if isolate or effective_timeout is not None:
                 result = _run_cell_isolated(config, workload, trace_length,
-                                            seed, fault_plan, timeout_s)
+                                            seed, fault_plan,
+                                            effective_timeout)
             else:
                 result = _run_cell(config, workload, trace_length, seed,
                                    fault_plan)
             return result, None, attempt
         except (CellTimeout, CellCrash) as exc:
-            if attempt <= max_retries:
-                time.sleep(retry_backoff_s * 2 ** (attempt - 1))
-                continue
+            if (deadline_at is not None
+                    and time.monotonic() >= deadline_at
+                    and isinstance(exc, CellTimeout)):
+                # The watchdog fired because the *deadline* clamped it,
+                # not the per-cell budget: report the honest error class.
+                exc = DeadlineExceeded(
+                    f"cell ({workload}, {config.l1_design}) ran out of "
+                    f"sweep deadline mid-attempt")
+            if attempt <= max_retries \
+                    and not isinstance(exc, DeadlineExceeded):
+                delay = retry_delay(retry_backoff_s, attempt, rng)
+                if (deadline_at is None
+                        or time.monotonic() + delay < deadline_at):
+                    time.sleep(delay)
+                    continue
+                exc = DeadlineExceeded(
+                    f"cell ({workload}, {config.l1_design}) has no "
+                    f"deadline budget left for a retry after: {exc}")
             if fail_fast:
-                raise
+                raise exc
             failure = FailedCell(
                 workload=workload, design=config.l1_design,
                 error_class=type(exc).__name__, message=str(exc),
@@ -484,7 +567,10 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                     isolate: bool = False, timeout_s: Optional[float] = None,
                     max_retries: int = 1, retry_backoff_s: float = 0.25,
                     fault_plan=None, fail_fast: bool = False,
-                    min_free_mb: Optional[float] = None) -> SweepReport:
+                    min_free_mb: Optional[float] = None,
+                    deadline_s: Optional[float] = None,
+                    retry_rng=None,
+                    interrupt_state=None) -> SweepReport:
     """Run a (workload x design) sweep that survives crashes and bad cells.
 
     Args:
@@ -511,6 +597,22 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
         min_free_mb: override the journal's free-disk-space floor (MB);
             dropping below it pauses the sweep cleanly (``report.paused``)
             instead of tearing the journal.
+        deadline_s: overall wall-clock budget for the sweep.  Per-attempt
+            watchdogs are clamped to the remaining budget (isolated
+            cells; in-process cells are only checked between cells), and
+            cells the deadline strands degrade into ``FailedCell``
+            records with error class ``DeadlineExceeded`` — never
+            retried, always journaled, re-run on resume.
+        retry_rng: a seeded ``random.Random`` for backoff jitter (see
+            :func:`retry_delay`); ``None`` derives one from ``seed`` via
+            :func:`retry_rng_for`, so the jitter schedule is reproducible.
+        interrupt_state: an externally owned
+            :class:`~repro.resilience.supervisor.InterruptState` to poll
+            instead of trapping SIGINT/SIGTERM here — the seam
+            ``repro serve`` uses to drain a request without process
+            signals.  Setting its ``signum`` makes the sweep stop after
+            the in-flight cell, flush, canonicalize, and raise
+            :class:`SweepInterrupted` exactly as a real signal would.
 
     Returns:
         a :class:`SweepReport`; ``report.results`` matches the classic
@@ -561,12 +663,15 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
     executed = 0
     pause: Optional[JournalWriteError] = None
     interrupted: Optional[int] = None
+    rng = retry_rng if retry_rng is not None else retry_rng_for(seed)
+    deadline_at = (time.monotonic() + deadline_s
+                   if deadline_s is not None else None)
     # mutate is called once per workload (the classic sweep() contract),
     # before the design is applied.
     per_workload_config: Dict[str, object] = {}
     with ExitStack() as stack:
-        interrupt = None
-        if journal is not None:
+        interrupt = interrupt_state
+        if interrupt is None and journal is not None:
             # Graceful SIGINT/SIGTERM: finish the in-flight cell, leave a
             # canonical journal, then raise SweepInterrupted below.
             from repro.resilience.supervisor import trap_interrupts
@@ -589,7 +694,8 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                 continue
             result, failure, _attempts = _execute_with_retries(
                 config, workload, trace_length, seed, fault_plan, isolate,
-                timeout_s, max_retries, retry_backoff_s, fail_fast)
+                timeout_s, max_retries, retry_backoff_s, fail_fast,
+                rng=rng, deadline_at=deadline_at)
             executed += 1
             try:
                 if result is not None:

@@ -54,6 +54,7 @@ __all__ = [
     "supervised_sweep",
     "worker_rss_bytes",
     "free_disk_bytes",
+    "host_readiness",
 ]
 
 
@@ -114,6 +115,39 @@ def free_disk_bytes(path) -> Optional[int]:
         return shutil.disk_usage(path).free
     except OSError:
         return None
+
+
+def host_readiness(path, max_rss_mb: Optional[float] = None,
+                   min_free_mb: Optional[float] = None):
+    """Evaluate the supervisor's RSS/disk guards for *this* process.
+
+    Returns ``(ready, checks)``: ``ready`` is False when a configured
+    guard is breached, and ``checks`` is a JSON-safe dict of what was
+    measured (``rss_mb``, ``free_disk_mb``) plus a ``reasons`` list
+    naming each breached guard.  This is the probe behind ``repro
+    serve``'s ``/readyz`` endpoint, so a server on a filling disk or
+    with a ballooning RSS stops admitting work *before* a sweep would
+    have to pause.
+    """
+    checks: dict = {"reasons": []}
+    ready = True
+    rss = worker_rss_bytes(os.getpid())
+    if rss is not None:
+        checks["rss_mb"] = round(rss / 2 ** 20, 1)
+        if max_rss_mb is not None and rss > max_rss_mb * 2 ** 20:
+            ready = False
+            checks["reasons"].append(
+                f"rss {rss / 2 ** 20:.0f}MB exceeds the "
+                f"{max_rss_mb:g}MB ceiling")
+    free = free_disk_bytes(path)
+    if free is not None:
+        checks["free_disk_mb"] = round(free / 2 ** 20, 1)
+        if min_free_mb is not None and free < min_free_mb * 2 ** 20:
+            ready = False
+            checks["reasons"].append(
+                f"free disk {free / 2 ** 20:.0f}MB below the "
+                f"{min_free_mb:g}MB floor")
+    return ready, checks
 
 
 # ------------------------------------------------------- interrupt trapping

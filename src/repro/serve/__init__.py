@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: the ``repro serve`` front end.
+
+An asyncio HTTP/JSON-RPC server (stdlib only) that accepts ``run``,
+``sweep``, and ``status`` requests and dispatches them onto the existing
+resilience substrate — supervised worker pools, enumeration-order
+journals, checkpoint digests — so many clients share one fault-tolerant
+simulation engine:
+
+* :mod:`repro.serve.protocol` — JSON-RPC 2.0 framing, method/param
+  validation, and the mapping from the resilience error taxonomy to
+  structured JSON-RPC errors (overload and quota rejections are
+  429-style errors with retry-after hints, never hangs).
+* :mod:`repro.serve.quota` — per-client token-bucket quotas with an
+  injectable clock, so admission tests are deterministic.
+* :mod:`repro.serve.pending` — the bounded pending-request pool: every
+  accepted request becomes a :class:`~repro.serve.pending.Job` with a
+  deadline, an interrupt seam, and a resumable token.
+* :mod:`repro.serve.cache` — a content-addressed result cache keyed by
+  the config+trace SHA-256 digests checkpoints already use; identical
+  cells are served without re-simulating, across requests and (with a
+  spool directory) across server restarts.
+* :mod:`repro.serve.jobs` — request params -> configs -> journaled
+  sweep execution with per-request deadlines, bounded-backoff retries,
+  and ``FailedCell`` degradation identical to the CLI.
+* :mod:`repro.serve.server` — the asyncio server: HTTP framing,
+  ``/healthz``/``/readyz`` wired to the supervisor's RSS/disk guards,
+  and graceful drain on SIGINT/SIGTERM (in-flight cells flush through
+  the journal, clients get resumable-job tokens, the process exits
+  ``128 + signum`` per the documented contract).
+* :mod:`repro.serve.client` — a minimal stdlib JSON-RPC client
+  (``python -m repro.serve.client``) for scripts, CI, and smoke tests.
+"""
+
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.pending import Job, PendingPool
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.quota import QuotaRegistry, TokenBucket
+from repro.serve.server import ServeConfig, SimulationServer
+
+__all__ = [
+    "Job",
+    "PendingPool",
+    "ProtocolError",
+    "QuotaRegistry",
+    "ResultCache",
+    "ServeConfig",
+    "SimulationServer",
+    "TokenBucket",
+    "parse_request",
+    "result_key",
+]

@@ -1,0 +1,138 @@
+"""Minimal stdlib JSON-RPC client for ``repro serve``.
+
+Library use::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("127.0.0.1", 8642)
+    result = client.call("sweep", {"workloads": ["gups"], "jobs": 2})
+
+Script / CI use (prints the JSON-RPC response, exit 0 on a result,
+1 on an error response, 2 on usage trouble)::
+
+    python -m repro.serve.client --port 8642 sweep \\
+        '{"workloads": ["gups"], "designs": ["vipt", "seesaw"]}'
+    python -m repro.serve.client --port-file /tmp/port health
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+__all__ = ["ServeClient", "main"]
+
+
+class ServeClient:
+    """One serve endpoint; each call is a fresh HTTP POST (the server
+    closes connections per request)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 client_id: Optional[str] = None,
+                 timeout_s: float = 300.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self._next_id = 0
+
+    def _post(self, path: str, body: bytes) -> Dict:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Client"] = self.client_id
+        request = urllib.request.Request(self.base + path, data=body,
+                                         headers=headers, method="POST")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Structured JSON-RPC errors ride on 4xx/5xx bodies.
+            return json.loads(exc.read().decode("utf-8"))
+
+    def request(self, method: str, params: Optional[Dict] = None) -> Dict:
+        """Send one JSON-RPC request; returns the raw response object."""
+        self._next_id += 1
+        envelope = {"jsonrpc": "2.0", "id": self._next_id,
+                    "method": method, "params": params or {}}
+        return self._post("/rpc", json.dumps(envelope).encode("utf-8"))
+
+    def call(self, method: str, params: Optional[Dict] = None) -> Dict:
+        """Like :meth:`request` but unwraps ``result`` and raises
+        ``RuntimeError`` on a JSON-RPC error response."""
+        response = self.request(method, params)
+        if "error" in response:
+            error = response["error"]
+            raise RuntimeError(
+                f"serve error {error.get('code')}: {error.get('message')} "
+                f"{json.dumps(error.get('data', {}), sort_keys=True)}")
+        return response["result"]
+
+    def get(self, path: str) -> Dict:
+        """GET a health/readiness endpoint; returns the decoded body."""
+        try:
+            with urllib.request.urlopen(self.base + path,
+                                        timeout=self.timeout_s) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return json.loads(exc.read().decode("utf-8"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="send one request to a repro serve endpoint")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--port-file", default=None,
+                        help="read the port from a file written by "
+                             "`repro serve --port-file`")
+    parser.add_argument("--client", default=None,
+                        help="X-Client identity for quota accounting")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("method",
+                        help="run | sweep | status | shutdown | "
+                             "health | ready")
+    parser.add_argument("params", nargs="?", default="{}",
+                        help="JSON params object")
+    args = parser.parse_args(argv)
+
+    port = args.port
+    if port is None and args.port_file:
+        try:
+            port = int(open(args.port_file, encoding="ascii").read().strip())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read port from {args.port_file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if port is None:
+        print("error: pass --port or --port-file", file=sys.stderr)
+        return 2
+    client = ServeClient(args.host, port, client_id=args.client,
+                         timeout_s=args.timeout)
+    if args.method in ("health", "ready"):
+        body = client.get("/healthz" if args.method == "health"
+                          else "/readyz")
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0 if body.get("status") == "alive" or body.get("ready") \
+            else 1
+    try:
+        params = json.loads(args.params)
+        if not isinstance(params, dict):
+            raise ValueError("params must be a JSON object")
+    except ValueError as exc:
+        print(f"error: bad params: {exc}", file=sys.stderr)
+        return 2
+    try:
+        response = client.request(args.method, params)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if "result" in response else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""The bounded pending-request pool behind ``repro serve``.
+
+Every admitted request becomes a :class:`Job`: a deadline, an interrupt
+seam (so a draining server can stop it mid-sweep exactly like Ctrl-C
+stops the CLI), and a resumable token.  The pool itself is bounded —
+``max_pending`` jobs queued or running — and a full pool rejects new
+work with :class:`~repro.resilience.errors.PoolOverloaded` (a
+structured 429-style error carrying a retry hint), never a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resilience.errors import JobNotFound, PoolOverloaded
+from repro.resilience.supervisor import InterruptState
+
+__all__ = ["Job", "PendingPool"]
+
+#: job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed", "interrupted",
+              "rejected")
+
+
+@dataclass
+class Job:
+    """One admitted request travelling through the serve pipeline.
+
+    Attributes:
+        id: server-assigned ordinal id (``job-N``).
+        client: quota identity of the submitter.
+        method: ``run`` or ``sweep``.
+        params: validated simulation params (post
+            :func:`repro.serve.protocol.validate_params`).
+        digest: canonical request digest — doubles as the resume token
+            and names the spool journal.
+        slots: worker slots this job occupies while running.
+        deadline_at: ``time.monotonic()`` deadline, or None.
+        interrupt: the seam a draining server flips to stop the sweep
+            gracefully (same machinery as the CLI's signal trap).
+        state: one of :data:`JOB_STATES`.
+        payload: the JSON-RPC result once the job finishes.
+    """
+
+    id: str
+    client: str
+    method: str
+    params: Dict
+    digest: str
+    slots: int = 1
+    deadline_at: Optional[float] = None
+    interrupt: InterruptState = field(default_factory=InterruptState)
+    state: str = "queued"
+    payload: Optional[Dict] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
+
+    @property
+    def resume_token(self) -> str:
+        return self.digest
+
+    def remaining_s(self) -> Optional[float]:
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def summary(self) -> Dict:
+        """JSON-safe snapshot for ``status`` responses."""
+        out = {
+            "job_id": self.id,
+            "client": self.client,
+            "method": self.method,
+            "state": self.state,
+            "resume_token": self.resume_token,
+            "age_s": round(time.monotonic() - self.submitted_at, 3),
+        }
+        if self.deadline_at is not None:
+            out["deadline_in_s"] = round(self.deadline_at
+                                         - time.monotonic(), 3)
+        if self.finished_at is not None:
+            out["elapsed_s"] = round(self.finished_at
+                                     - self.submitted_at, 3)
+        return out
+
+
+class PendingPool:
+    """Bounded registry of queued + running jobs.
+
+    Finished jobs are kept (up to ``keep_finished``) so ``status``
+    requests can fetch their payloads, but only *pending* jobs count
+    against the admission bound.
+    """
+
+    def __init__(self, max_pending: int = 8, keep_finished: int = 64) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be > 0")
+        self.max_pending = max_pending
+        self.keep_finished = keep_finished
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: admission counters for status reporting.
+        self.admitted = 0
+        self.overloaded = 0
+
+    # ------------------------------------------------------------ admission
+
+    def admit(self, client: str, method: str, params: Dict, digest: str,
+              slots: int = 1,
+              deadline_at: Optional[float] = None) -> Job:
+        """Admit a request or raise :class:`PoolOverloaded`."""
+        with self._lock:
+            pending = [j for j in self._jobs.values()
+                       if j.state in ("queued", "running")]
+            if len(pending) >= self.max_pending:
+                self.overloaded += 1
+                oldest = min(j.submitted_at for j in pending)
+                raise PoolOverloaded(
+                    f"pending pool is full ({len(pending)}/"
+                    f"{self.max_pending} jobs queued or running)",
+                    retry_after_s=max(0.5, time.monotonic() - oldest),
+                    pending=len(pending), max_pending=self.max_pending)
+            self._seq += 1
+            job = Job(id=f"job-{self._seq}", client=client, method=method,
+                      params=params, digest=digest, slots=slots,
+                      deadline_at=deadline_at)
+            self._jobs[job.id] = job
+            self.admitted += 1
+            self._evict_finished_locked()
+            return job
+
+    def _evict_finished_locked(self) -> None:
+        finished = [j for j in self._jobs.values()
+                    if j.state not in ("queued", "running")]
+        excess = len(finished) - self.keep_finished
+        if excess > 0:
+            finished.sort(key=lambda j: j.finished_at or j.submitted_at)
+            for job in finished[:excess]:
+                self._jobs.pop(job.id, None)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def mark(self, job: Job, state: str,
+             payload: Optional[Dict] = None) -> None:
+        with self._lock:
+            job.state = state
+            if payload is not None:
+                job.payload = payload
+            if state not in ("queued", "running"):
+                job.finished_at = time.monotonic()
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(f"no such job: {job_id!r}", job_id=job_id)
+        return job
+
+    def find(self, token: str) -> Job:
+        """Look a job up by id *or* resume token (request digest)."""
+        with self._lock:
+            for job in self._jobs.values():
+                if job.id == token or job.digest == token:
+                    return job
+        raise JobNotFound(
+            f"no such job or resume token: {token!r} (finished jobs are "
+            f"kept for {self.keep_finished} completions; an older token "
+            f"resubmits via run/sweep with resume_token)", token=token)
+
+    def active(self) -> List[Job]:
+        with self._lock:
+            return [j for j in self._jobs.values()
+                    if j.state in ("queued", "running")]
+
+    def interrupt_active(self, signum: int) -> List[Job]:
+        """Flip every active job's interrupt seam (drain path)."""
+        jobs = self.active()
+        for job in jobs:
+            job.interrupt.signum = signum
+        return jobs
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "max_pending": self.max_pending,
+                "admitted": self.admitted,
+                "overloaded": self.overloaded,
+                "states": states,
+            }

@@ -1,0 +1,124 @@
+"""Per-client token-bucket quotas for ``repro serve`` admission control.
+
+Each client (the ``X-Client`` header, falling back to the peer address)
+gets a :class:`TokenBucket`: ``capacity`` tokens, refilled continuously
+at ``refill_per_s``.  A request takes one token; an empty bucket rejects
+with :class:`~repro.resilience.errors.QuotaExceeded` carrying the exact
+``retry_after_s`` until a token accrues — a structured 429, never a
+hang.  The clock is injectable so quota tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.resilience.errors import QuotaExceeded
+
+__all__ = ["TokenBucket", "QuotaRegistry"]
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    ``clock`` is any monotonic ``() -> float``; tests inject a fake one
+    to step time explicitly.
+    """
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity <= 0:
+            raise ValueError("quota capacity must be > 0")
+        if refill_per_s < 0:
+            raise ValueError("quota refill rate must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity,
+                           self._tokens + elapsed * self.refill_per_s)
+
+    def try_take(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Take ``tokens`` if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False,
+        retry_after_s)`` — the seconds until the shortfall refills (or
+        ``inf`` when the refill rate is zero).
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True, 0.0
+        shortfall = tokens - self._tokens
+        if self.refill_per_s <= 0:
+            return False, float("inf")
+        return False, shortfall / self.refill_per_s
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class QuotaRegistry:
+    """Token buckets per client id, created lazily with shared limits."""
+
+    def __init__(self, capacity: float = 16.0, refill_per_s: float = 4.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 max_clients: int = 1024) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._max_clients = max_clients
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        #: admission counters for status reporting.
+        self.granted = 0
+        self.rejected = 0
+
+    def bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self._max_clients:
+                    # Drop the oldest-inserted bucket: an abuser set this
+                    # large is already rate-limited per request anyway.
+                    self._buckets.pop(next(iter(self._buckets)))
+                bucket = TokenBucket(self.capacity, self.refill_per_s,
+                                     self._clock)
+                self._buckets[client] = bucket
+            return bucket
+
+    def take(self, client: str, tokens: float = 1.0) -> None:
+        """Charge ``client`` one request; raises
+        :class:`QuotaExceeded` (with ``retry_after_s``) when exhausted."""
+        bucket = self.bucket(client)
+        with self._lock:
+            granted, retry_after = bucket.try_take(tokens)
+            if granted:
+                self.granted += 1
+                return
+            self.rejected += 1
+        raise QuotaExceeded(
+            f"client {client!r} exhausted its request quota "
+            f"({self.capacity:g} burst, {self.refill_per_s:g}/s refill)",
+            retry_after_s=retry_after if retry_after != float("inf")
+            else None,
+            client=client)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "clients": len(self._buckets),
+                "capacity": self.capacity,
+                "refill_per_s": self.refill_per_s,
+                "granted": self.granted,
+                "rejected": self.rejected,
+            }

@@ -194,3 +194,53 @@ class TestSupervisionFlags:
         assert "resume" in captured.err
         # the paused journal resumes to completion
         assert main(["resume", str(journal), "--jobs", "2"]) == 0
+
+
+class TestUsageErrors:
+    """Bad invocations must exit 2 with a usage message, not a traceback."""
+
+    def test_sweep_resume_without_journal_is_usage_error(self, capsys):
+        assert main(["sweep", "--workloads", "gups", "--length", "1000",
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume needs a journal" in err
+        assert "repro resume PATH" in err
+
+    def test_bad_inject_spec_is_usage_error(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "gups", "--length", "1000",
+                     "--inject", "gamma-ray@7",
+                     "--journal", str(tmp_path / "j.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_doctor_on_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_on_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_parses_service_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "8123", "--jobs", "4",
+             "--max-pending", "16", "--quota-capacity", "32",
+             "--quota-refill", "8", "--spool", "pool",
+             "--cache-capacity", "512", "--timeout", "45",
+             "--retries", "2", "--deadline", "120",
+             "--chaos", "worker-kill@0"])
+        assert args.port == 8123
+        assert args.jobs == 4
+        assert args.max_pending == 16
+        assert args.quota_capacity == 32.0
+        assert args.quota_refill == 8.0
+        assert args.spool == "pool"
+        assert args.cache_capacity == 512
+        assert args.deadline == 120.0
+        assert args.chaos == ["worker-kill@0"]
+
+    def test_bench_parses_serve_flag(self):
+        args = build_parser().parse_args(["bench", "--quick", "--serve"])
+        assert args.serve is True
+        assert build_parser().parse_args(["bench"]).serve is False
