@@ -100,7 +100,19 @@ def save_request_params(spool: Path, digest: str, params: Dict) -> None:
 
 def load_request_params(spool: Path, token: str) -> Dict:
     """Params recorded for ``token``; raises :class:`JobNotFound` when the
-    token names no spooled request (or its sidecar is unreadable)."""
+    token names no spooled request (or its sidecar is unreadable).
+
+    The token is re-checked against the digest format here even though
+    the protocol layer already validates it — this function builds a
+    filesystem path from client input, so it must never accept a token
+    that could escape the spool directory.
+    """
+    from repro.serve.protocol import TOKEN_RE
+
+    if not isinstance(token, str) or not TOKEN_RE.fullmatch(token):
+        raise JobNotFound(
+            f"resume token {token[:16]!r}... is not a request digest "
+            f"(64 lowercase hex chars)", token=str(token)[:80])
     path = _request_path(spool, token)
     try:
         params = json.loads(path.read_text(encoding="utf-8"))

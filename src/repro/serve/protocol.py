@@ -35,6 +35,7 @@ code       meaning
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.resilience.errors import AdmissionError
@@ -77,6 +78,11 @@ _DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
 _CORES = ("ooo", "inorder")
 _SIZES = (32, 64, 128)
 
+#: Resume tokens are request digests — exactly 64 lowercase hex chars.
+#: Anything else is rejected *before* the token is ever used to build a
+#: spool path, so a hostile token can't probe files outside the spool.
+TOKEN_RE = re.compile(r"[0-9a-f]{64}")
+
 #: every key ``run``/``sweep`` params may carry, with a short form note.
 _PARAM_FORMS = {
     "workload": "workload: a workload name (run only)",
@@ -95,7 +101,8 @@ _PARAM_FORMS = {
     "retries": "retries: transient-failure retries, int >= 0",
     "deadline_s": "deadline_s: whole-request budget, float > 0",
     "wait": "wait: false to return a job_id immediately",
-    "resume_token": "resume_token: token from an interrupted request",
+    "resume_token": "resume_token: 64-hex-char token from an "
+                    "interrupted request",
 }
 
 
@@ -213,8 +220,11 @@ def validate_params(method: str, params: Dict) -> Dict:
     out: Dict = {}
     token = params.get("resume_token")
     if token is not None:
-        if not isinstance(token, str) or not token:
-            raise _invalid("resume_token", "expected a non-empty string")
+        if not isinstance(token, str) or not TOKEN_RE.fullmatch(token):
+            raise _invalid(
+                "resume_token",
+                "expected a 64-char lowercase hex request digest (the "
+                "token an interrupted request returned)")
         out["resume_token"] = token
 
     if method == "run":

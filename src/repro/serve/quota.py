@@ -61,6 +61,12 @@ class TokenBucket:
             return False, float("inf")
         return False, shortfall / self.refill_per_s
 
+    def give_back(self, tokens: float = 1.0) -> None:
+        """Return ``tokens`` taken for a request that was never served
+        (e.g. the pending pool rejected it after the quota charge)."""
+        self._refill()
+        self._tokens = min(self.capacity, self._tokens + tokens)
+
     @property
     def tokens(self) -> float:
         self._refill()
@@ -82,6 +88,7 @@ class QuotaRegistry:
         #: admission counters for status reporting.
         self.granted = 0
         self.rejected = 0
+        self.refunded = 0
 
     def bucket(self, client: str) -> TokenBucket:
         with self._lock:
@@ -113,6 +120,16 @@ class QuotaRegistry:
             else None,
             client=client)
 
+    def refund(self, client: str, tokens: float = 1.0) -> None:
+        """Return a charged token to ``client`` — used when a request the
+        quota admitted is then rejected downstream (pool overload), so a
+        client backing off from an overloaded pool is not also pushed
+        toward quota exhaustion."""
+        bucket = self.bucket(client)
+        with self._lock:
+            bucket.give_back(tokens)
+            self.refunded += 1
+
     def snapshot(self) -> Dict:
         with self._lock:
             return {
@@ -121,4 +138,5 @@ class QuotaRegistry:
                 "refill_per_s": self.refill_per_s,
                 "granted": self.granted,
                 "rejected": self.rejected,
+                "refunded": self.refunded,
             }

@@ -15,6 +15,11 @@ Robustness model:
   flag, the per-client token bucket, and the bounded pending pool.
   Each rejection is a *structured* JSON-RPC error with a retry hint —
   an overloaded server answers fast, it never hangs or silently drops.
+  A pool rejection refunds the quota token it charged, so backoff from
+  an overloaded pool never compounds into quota exhaustion.  A request
+  identical to one already in flight bypasses the pool entirely: it
+  attaches as a second waiter on the live job (one journal writer per
+  digest, zero duplicate simulation).
 * **Deadlines.**  A request's ``deadline_s`` (or the server default)
   covers queueing *and* execution: a job that cannot get worker slots
   in time fails with ``DeadlineExceeded`` without simulating anything,
@@ -42,12 +47,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.resilience.errors import (
     EXIT_INTERRUPT_BASE,
     AdmissionError,
     DeadlineExceeded,
+    PoolOverloaded,
     ServerDraining,
     SweepInterrupted,
 )
@@ -115,6 +121,12 @@ class SimulationServer:
         self._drain_signum: Optional[int] = None
         self._job_tasks: Set[asyncio.Task] = set()
         self._conn_tasks: Set[asyncio.Task] = set()
+        # One live job per request digest: duplicates of an in-flight
+        # request attach to its task instead of racing it on the shared
+        # spool journal.  Touched only from the event-loop thread.
+        self._active_by_digest: Dict[str, Tuple[Job, asyncio.Task]] = {}
+        #: requests served by attaching to an in-flight duplicate.
+        self.deduped = 0
         self.exit_code: Optional[int] = None
         # Simulations run on threads; each job occupies one thread for its
         # whole life, so size the pool to the admission bound, not to the
@@ -342,6 +354,7 @@ class SimulationServer:
             "draining": self.draining,
             "uptime_s": round(time.monotonic() - self.started_at, 1),
             "worker_slots": self.config.jobs,
+            "deduped": self.deduped,
             "pool": self.pool.snapshot(),
             "quota": self.quota.snapshot(),
             "cache": self.cache.snapshot(),
@@ -361,17 +374,58 @@ class SimulationServer:
             spooled = jobs_mod.load_request_params(self.config.spool, token)
             for key, value in spooled.items():
                 validated.setdefault(key, value)
+        # The clamp ServeConfig promises: a request never simulates wider
+        # than the worker slots it can hold.
+        validated["jobs"] = min(validated["jobs"], self.config.jobs)
         digest = jobs_mod.request_digest(validated)
+
+        # Duplicate of an in-flight request: attach as a waiter on the
+        # live job instead of running a second writer against the shared
+        # <spool>/<digest>.jsonl journal.
+        active = self._active_by_digest.get(digest)
+        if active is not None and not active[1].done():
+            dup_job, dup_task = active
+            self.quota.take(client)
+            self.deduped += 1
+            if not validated["wait"]:
+                return protocol.result_response(request_id, {
+                    "state": "attached",
+                    "job_id": dup_job.id,
+                    "resume_token": dup_job.resume_token,
+                    "poll": {"method": "status",
+                             "params": {"job_id": dup_job.id}},
+                })
+            # shield: a dropped duplicate waiter must not cancel the
+            # job its originator is still waiting on.
+            payload = await asyncio.shield(dup_task)
+            return protocol.result_response(request_id, payload)
+
         self.quota.take(client)
-        slots = min(validated["jobs"], self.config.jobs)
         deadline_s = validated.get("deadline_s", self.config.deadline_s)
         deadline_at = (time.monotonic() + deadline_s
                        if deadline_s is not None else None)
-        job = self.pool.admit(client, method, validated, digest,
-                              slots=slots, deadline_at=deadline_at)
+        try:
+            job = self.pool.admit(client, method, validated, digest,
+                                  slots=validated["jobs"],
+                                  deadline_at=deadline_at)
+        except PoolOverloaded:
+            # The request was never served; give the token back so a
+            # client backing off from an overloaded pool isn't also
+            # marched toward quota exhaustion.
+            self.quota.refund(client)
+            raise
         task = asyncio.get_running_loop().create_task(self._run_job(job))
         self._job_tasks.add(task)
-        task.add_done_callback(self._job_tasks.discard)
+        self._active_by_digest[digest] = (job, task)
+
+        def _job_finished(done_task: asyncio.Task, *,
+                          digest: str = digest) -> None:
+            self._job_tasks.discard(done_task)
+            entry = self._active_by_digest.get(digest)
+            if entry is not None and entry[1] is done_task:
+                del self._active_by_digest[digest]
+
+        task.add_done_callback(_job_finished)
         if not validated["wait"]:
             return protocol.result_response(request_id, {
                 "state": "accepted",

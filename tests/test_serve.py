@@ -73,9 +73,29 @@ class TestProtocol:
         assert info.value.code == INVALID_PARAMS
 
     def test_bare_token_skips_sim_validation(self):
-        out = validate_params("sweep", {"resume_token": "abc123"})
-        assert out["resume_token"] == "abc123"
+        token = "ab" * 32  # well-formed 64-hex-char digest
+        out = validate_params("sweep", {"resume_token": token})
+        assert out["resume_token"] == token
         assert "workloads" not in out
+
+    def test_malformed_resume_token_rejected(self):
+        # Tokens are digests; anything else — especially path
+        # separators — must die in validation, before the server ever
+        # builds a spool path from it.
+        for bad in ("abc123", "../../etc/passwd", "A" * 64,
+                    "ab" * 31 + "/x", ""):
+            with pytest.raises(ProtocolError) as info:
+                validate_params("sweep", {"resume_token": bad})
+            assert info.value.code == INVALID_PARAMS
+
+    def test_traversal_token_never_touches_fs(self, tmp_path):
+        from repro.serve.jobs import load_request_params
+        outside = tmp_path / "outside.request.json"
+        outside.write_text(json.dumps({"workloads": ["gups"]}))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        with pytest.raises(JobNotFound):
+            load_request_params(spool, "../outside")
 
     def test_sweep_defaults_cover_full_suite(self):
         from repro.workloads.suite import WORKLOADS
@@ -351,8 +371,7 @@ class TestServer:
 
     def test_overload_is_structured_429(self, serve):
         # Ample quota: this test must hit the *pool* bound, not the
-        # per-client bucket (every request, rejected or not, costs a
-        # token).
+        # per-client bucket.
         server = serve(jobs=1, max_pending=1,
                        quota_capacity=1000, quota_refill_per_s=1000)
         client = _client(server)
@@ -378,6 +397,61 @@ class TestServer:
         errors = [r["error"]["code"] for r in replies if "error" in r]
         assert errors == [-32002]
         assert "retry_after_s" in replies[-1]["error"]["data"]
+
+    def test_pool_rejection_refunds_quota(self, serve):
+        # Two tokens total: the blocker takes one; the pool-rejected
+        # request must give its token back, funding the post-backoff
+        # retry — without the refund the retry would die -32002.
+        server = serve(jobs=1, max_pending=1, quota_capacity=2,
+                       quota_refill_per_s=0.001)
+        client = _client(server, name="patient")
+        with ThreadPoolExecutor(1) as pool:
+            blocker = pool.submit(
+                client.call, "sweep",
+                {"workloads": ["gups", "mcf"],
+                 "designs": ["vipt", "seesaw"], "length": 20_000})
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and not server.pool.active():
+                time.sleep(0.02)
+            reply = client.request("run", dict(SMALL, seed=31))
+            assert reply["error"]["code"] == -32001  # pool, not quota
+            assert server.quota.snapshot()["refunded"] == 1
+            blocker.result(timeout=120)
+        out = client.call("run", dict(SMALL, seed=31))
+        assert out["state"] == "done"
+
+    def test_request_jobs_clamped_to_server_slots(self, serve):
+        server = serve(jobs=2)
+        client = _client(server)
+        out = client.call("run", dict(SMALL, seed=11, jobs=64))
+        assert out["state"] == "done"
+        job = server.pool.find(out["job_id"])
+        # the executed parallelism matches the reserved slots
+        assert job.params["jobs"] == 2
+        assert job.slots == 2
+
+    def test_concurrent_duplicate_attaches_to_live_job(self, serve):
+        server = serve()
+        client = _client(server)
+        params = {"workloads": ["gups", "mcf"],
+                  "designs": ["vipt", "seesaw"],
+                  "length": 20_000, "seed": 21}
+        accepted = client.call("sweep", dict(params, wait=False))
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not server.pool.active():
+            time.sleep(0.02)
+        # a no-wait duplicate is pointed at the live job, not admitted
+        attached = client.call("sweep", dict(params, wait=False))
+        assert attached["state"] == "attached"
+        assert attached["job_id"] == accepted["job_id"]
+        # a waiting duplicate rides the same job to completion: one
+        # journal writer, one simulation of each cell
+        dup = client.call("sweep", dict(params))
+        assert dup["job_id"] == accepted["job_id"]
+        assert dup["state"] == "done"
+        assert dup["simulated"] == 4
+        assert server.deduped == 2
+        assert server.pool.snapshot()["admitted"] == 1
 
     def test_queued_deadline_degrades_without_simulating(self, serve):
         server = serve(jobs=1)
