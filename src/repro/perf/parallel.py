@@ -106,11 +106,13 @@ class _ParallelDispatcher:
                  timeout_s: Optional[float], max_retries: int,
                  retry_backoff_s: float, fail_fast: bool,
                  retry_rng=None,
-                 deadline_at: Optional[float] = None) -> None:
+                 deadline_at: Optional[float] = None,
+                 sampling_plan=None) -> None:
         self.jobs = max(1, jobs)
         self.trace_length = trace_length
         self.seed = seed
         self.fault_plan = fault_plan
+        self.sampling_plan = sampling_plan
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
@@ -143,7 +145,8 @@ class _ParallelDispatcher:
         worker = self._context.Process(
             target=_cell_worker,
             args=(sender, task.config, task.workload, self.trace_length,
-                  self.seed, self.fault_plan, self.heartbeat_s),
+                  self.seed, self.fault_plan, self.heartbeat_s,
+                  self.sampling_plan),
             daemon=True)
         worker.start()
         sender.close()  # parent keeps only the read end
@@ -353,7 +356,8 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
                    retry_backoff_s: float = 0.25, fault_plan=None,
                    fail_fast: bool = False, policy=None,
                    deadline_s: Optional[float] = None,
-                   retry_rng=None, interrupt_state=None) -> SweepReport:
+                   retry_rng=None, interrupt_state=None,
+                   sampling_plan=None) -> SweepReport:
     """Run a journaled (workload x design) sweep across worker processes.
 
     Drop-in parallel variant of
@@ -388,12 +392,22 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             :class:`~repro.resilience.supervisor.InterruptState` polled
             instead of trapping process signals — lets a server drain
             one request without signalling the whole process.
+        sampling_plan: a :class:`repro.sampling.SamplingPlan` switching
+            every cell to sampled interval simulation; cell digests are
+            folded through :func:`repro.sampling.sampling_cell_digest`
+            so sampled journals never satisfy exact resume checks (and
+            vice versa).  Incompatible with ``fault_plan``.
         (all other arguments match ``resilient_sweep``.)
     """
     from repro.resilience.runner import resilient_sweep
     from repro.sim.stats import SimulationResult
     from repro.workloads.suite import get_workload
 
+    if sampling_plan is not None and fault_plan is not None:
+        raise ValueError(
+            "sampled simulation cannot be combined with fault injection: "
+            "extrapolated counters would hide or scale the injected damage "
+            "— run the exact lane for fault campaigns")
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1:
@@ -404,7 +418,7 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
             fault_plan=fault_plan, fail_fast=fail_fast,
             deadline_s=deadline_s, retry_rng=retry_rng,
-            interrupt_state=interrupt_state)
+            interrupt_state=interrupt_state, sampling_plan=sampling_plan)
 
     workloads = list(workloads)
     designs = list(designs)
@@ -438,15 +452,18 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             if resume and journal.exists():
                 _, done = journal.read()
             else:
+                header_fields = {
+                    "config": config_to_dict(base_config),
+                    "config_digest": config_digest(base_config),
+                    "workloads": workloads,
+                    "designs": designs,
+                    "trace_length": trace_length,
+                    "seed": seed,
+                }
+                if sampling_plan is not None:
+                    header_fields["sampling"] = sampling_plan.to_dict()
                 try:
-                    journal.write_header({
-                        "config": config_to_dict(base_config),
-                        "config_digest": config_digest(base_config),
-                        "workloads": workloads,
-                        "designs": designs,
-                        "trace_length": trace_length,
-                        "seed": seed,
-                    })
+                    journal.write_header(header_fields)
                 except JournalWriteError as exc:
                     pause = exc
 
@@ -467,6 +484,10 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
                     mutate(base_config, workload) if mutate else base_config)
             config = per_workload_config[workload].with_design(design)
             digest = config_digest(config)
+            if sampling_plan is not None:
+                from repro.sampling import sampling_cell_digest
+
+                digest = sampling_cell_digest(digest, sampling_plan)
             record = done.get((workload, design))
             if (record is not None and record.get("type") == "done"
                     and record.get("config_digest") == digest):
@@ -503,7 +524,8 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
             max_retries=max_retries, retry_backoff_s=retry_backoff_s,
             fail_fast=fail_fast, retry_rng=retry_rng,
             deadline_at=(time.monotonic() + deadline_s
-                         if deadline_s is not None else None))
+                         if deadline_s is not None else None),
+            sampling_plan=sampling_plan)
         if policy is not None:
             from repro.resilience.supervisor import SupervisedDispatcher
 

@@ -356,11 +356,21 @@ class SweepJournal:
 # ------------------------------------------------------------ cell execution
 
 def _run_cell(config, workload: str, trace_length: int, seed: int,
-              fault_plan=None):
+              fault_plan=None, sampling_plan=None):
     """Simulate one (workload, design) cell inline and return its result."""
     from repro.sim.system import SystemSimulator
     from repro.workloads.suite import build_trace, cached_trace, get_workload
 
+    if sampling_plan is not None:
+        if fault_plan is not None:
+            raise ValueError(
+                "sampled simulation cannot be combined with fault "
+                "injection: extrapolated counters would hide or scale the "
+                "injected damage — run the exact lane for fault campaigns")
+        from repro.sampling import simulate_sampled
+
+        trace = cached_trace(workload, trace_length, seed=seed)
+        return simulate_sampled(config, trace, sampling_plan)
     if fault_plan is None:
         # Fault-free cells treat the trace as read-only, so consecutive
         # designs of one sweep row share a memoized copy.
@@ -377,7 +387,8 @@ def _run_cell(config, workload: str, trace_length: int, seed: int,
 
 def _cell_worker(connection, config, workload: str, trace_length: int,
                  seed: int, fault_plan,
-                 heartbeat_s: Optional[float] = None) -> None:
+                 heartbeat_s: Optional[float] = None,
+                 sampling_plan=None) -> None:
     """Subprocess entry point: run a cell, ship the outcome over a pipe.
 
     With ``heartbeat_s``, a daemon thread sends ``("hb",)`` over the pipe
@@ -406,7 +417,8 @@ def _cell_worker(connection, config, workload: str, trace_length: int,
                     return  # pipe gone: the parent moved on
         threading.Thread(target=_beat, daemon=True).start()
     try:
-        result = _run_cell(config, workload, trace_length, seed, fault_plan)
+        result = _run_cell(config, workload, trace_length, seed, fault_plan,
+                           sampling_plan)
         with send_lock:
             connection.send(("ok", result.to_dict()))
     except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
@@ -419,7 +431,8 @@ def _cell_worker(connection, config, workload: str, trace_length: int,
 
 
 def _run_cell_isolated(config, workload: str, trace_length: int, seed: int,
-                       fault_plan, timeout_s: Optional[float]):
+                       fault_plan, timeout_s: Optional[float],
+                       sampling_plan=None):
     """Run a cell in a watchdogged subprocess.
 
     Raises :class:`CellTimeout` when the wall clock expires,
@@ -434,7 +447,8 @@ def _run_cell_isolated(config, workload: str, trace_length: int, seed: int,
     receiver, sender = context.Pipe(duplex=False)
     worker = context.Process(
         target=_cell_worker,
-        args=(sender, config, workload, trace_length, seed, fault_plan),
+        args=(sender, config, workload, trace_length, seed, fault_plan,
+              None, sampling_plan),
         daemon=True)
     worker.start()
     sender.close()  # parent keeps only the read end
@@ -469,7 +483,8 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                           fault_plan, isolate: bool,
                           timeout_s: Optional[float], max_retries: int,
                           retry_backoff_s: float, fail_fast: bool,
-                          rng=None, deadline_at: Optional[float] = None):
+                          rng=None, deadline_at: Optional[float] = None,
+                          sampling_plan=None):
     """Run one cell, retrying transient failures.
 
     Returns ``(result, None, attempts)`` on success, or
@@ -485,6 +500,10 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
     class ``DeadlineExceeded`` instead of sleeping past the deadline.
     """
     digest = config_digest(config)
+    if sampling_plan is not None:
+        from repro.sampling import sampling_cell_digest
+
+        digest = sampling_cell_digest(digest, sampling_plan)
     attempt = 0
     while True:
         attempt += 1
@@ -508,10 +527,10 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
             if isolate or effective_timeout is not None:
                 result = _run_cell_isolated(config, workload, trace_length,
                                             seed, fault_plan,
-                                            effective_timeout)
+                                            effective_timeout, sampling_plan)
             else:
                 result = _run_cell(config, workload, trace_length, seed,
-                                   fault_plan)
+                                   fault_plan, sampling_plan)
             return result, None, attempt
         except (CellTimeout, CellCrash) as exc:
             if (deadline_at is not None
@@ -570,7 +589,8 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                     min_free_mb: Optional[float] = None,
                     deadline_s: Optional[float] = None,
                     retry_rng=None,
-                    interrupt_state=None) -> SweepReport:
+                    interrupt_state=None,
+                    sampling_plan=None) -> SweepReport:
     """Run a (workload x design) sweep that survives crashes and bad cells.
 
     Args:
@@ -613,6 +633,12 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
             signals.  Setting its ``signum`` makes the sweep stop after
             the in-flight cell, flush, canonicalize, and raise
             :class:`SweepInterrupted` exactly as a real signal would.
+        sampling_plan: optional :class:`~repro.sampling.SamplingPlan`
+            switching every cell to the sampled lane.  The journal header
+            records the plan, cell digests are folded through
+            :func:`~repro.sampling.sampling_cell_digest` (so sampled and
+            exact records never satisfy each other on resume), and
+            combining it with ``fault_plan`` is refused up front.
 
     Returns:
         a :class:`SweepReport`; ``report.results`` matches the classic
@@ -636,6 +662,11 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                 f"{', '.join(VALID_DESIGNS)}")
     for workload in workloads:
         get_workload(workload)  # typo fails up front, naming valid choices
+    if sampling_plan is not None and fault_plan is not None:
+        raise ValueError(
+            "sampled simulation cannot be combined with fault injection: "
+            "extrapolated counters would hide or scale the injected "
+            "damage — run the exact lane for fault campaigns")
 
     journal = SweepJournal(journal_path) if journal_path is not None else None
     if journal is not None and min_free_mb is not None:
@@ -645,14 +676,17 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
         if resume and journal.exists():
             _, done = journal.read()
         else:
-            journal.write_header({
+            header_fields = {
                 "config": config_to_dict(base_config),
                 "config_digest": config_digest(base_config),
                 "workloads": workloads,
                 "designs": designs,
                 "trace_length": trace_length,
                 "seed": seed,
-            })
+            }
+            if sampling_plan is not None:
+                header_fields["sampling"] = sampling_plan.to_dict()
+            journal.write_header(header_fields)
 
     cells = list(dict.fromkeys(
         (workload, design) for workload in workloads for design in designs))
@@ -685,6 +719,10 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
                     mutate(base_config, workload) if mutate else base_config)
             config = per_workload_config[workload].with_design(design)
             digest = config_digest(config)
+            if sampling_plan is not None:
+                from repro.sampling import sampling_cell_digest
+
+                digest = sampling_cell_digest(digest, sampling_plan)
             record = done.get((workload, design))
             if (record is not None and record.get("type") == "done"
                     and record.get("config_digest") == digest):
@@ -695,7 +733,8 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
             result, failure, _attempts = _execute_with_retries(
                 config, workload, trace_length, seed, fault_plan, isolate,
                 timeout_s, max_retries, retry_backoff_s, fail_fast,
-                rng=rng, deadline_at=deadline_at)
+                rng=rng, deadline_at=deadline_at,
+                sampling_plan=sampling_plan)
             executed += 1
             try:
                 if result is not None:

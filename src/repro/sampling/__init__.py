@@ -1,0 +1,28 @@
+"""Sampled interval simulation (SimPoint-style representative sampling).
+
+Public surface of the approximate lane: :class:`SamplingPlan` describes
+*what* is sampled, :func:`simulate_sampled` runs one cell through the
+lane, and :func:`sampling_cell_digest` keeps sampled results in a
+content-addressed namespace separate from the exact lane's.
+"""
+
+from repro.sampling.cluster import Cluster, cluster_signatures
+from repro.sampling.intervals import (interval_signature, partition_intervals,
+                                      profile_trace)
+from repro.sampling.plan import SamplingPlan, sampling_cell_digest
+from repro.sampling.runner import (HEADLINE_METRICS, extrapolate_totals,
+                                   relative_error, simulate_sampled)
+
+__all__ = [
+    "Cluster",
+    "cluster_signatures",
+    "interval_signature",
+    "partition_intervals",
+    "profile_trace",
+    "SamplingPlan",
+    "sampling_cell_digest",
+    "HEADLINE_METRICS",
+    "extrapolate_totals",
+    "relative_error",
+    "simulate_sampled",
+]

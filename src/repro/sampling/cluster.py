@@ -1,0 +1,109 @@
+"""Seeded k-means clustering of interval signatures.
+
+SimPoint-style: intervals whose signatures land close together are
+assumed to exercise the machine identically, so one representative per
+cluster is simulated and its counters scaled by the cluster's weight.
+Everything here is deterministic for a fixed (signatures, k, seed):
+k-means++ seeding draws from a ``numpy`` Generator, Lloyd assignment
+breaks distance ties toward the lowest interval index (``argmin``), and
+the representative of each cluster is the member nearest its centroid
+(again lowest-index on ties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["Cluster", "cluster_signatures"]
+
+_LLOYD_ITERATIONS = 25
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One signature cluster: the interval simulated + those it stands for."""
+
+    representative: int
+    members: tuple
+
+    @property
+    def weight(self) -> int:
+        """Interval count this cluster stands for (its own rep included)."""
+        return len(self.members)
+
+
+def _standardize(signatures: np.ndarray) -> np.ndarray:
+    """Z-score per dimension; constant dimensions collapse to zero."""
+    mean = signatures.mean(axis=0)
+    std = signatures.std(axis=0)
+    std[std == 0.0] = 1.0
+    return (signatures - mean) / std
+
+
+def _kmeans_pp_init(points: np.ndarray, k: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread the initial centroids by D^2 sampling."""
+    n = points.shape[0]
+    centers = [points[int(rng.integers(n))]]
+    for _ in range(1, k):
+        d2 = np.min(((points[:, None, :] - np.asarray(centers)[None, :, :])
+                     ** 2).sum(axis=2), axis=1)
+        total = float(d2.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; any pick works.
+            centers.append(points[int(rng.integers(n))])
+            continue
+        centers.append(points[int(rng.choice(n, p=d2 / total))])
+    return np.asarray(centers)
+
+
+def cluster_signatures(signatures: np.ndarray, max_clusters: int,
+                       seed: int = 42) -> List[Cluster]:
+    """Cluster interval signatures; returns clusters sorted by representative.
+
+    When ``max_clusters >= len(signatures)`` every interval is its own
+    singleton cluster — the degenerate identity the runner turns into an
+    exact simulation.
+    """
+    signatures = np.asarray(signatures, dtype=np.float64)
+    n = signatures.shape[0]
+    if n == 0:
+        return []
+    if max_clusters >= n:
+        return [Cluster(representative=i, members=(i,)) for i in range(n)]
+
+    points = _standardize(signatures)
+    rng = np.random.default_rng(seed)
+    k = max_clusters
+    centers = _kmeans_pp_init(points, k, rng)
+    assignment = np.zeros(n, dtype=np.intp)
+    for _ in range(_LLOYD_ITERATIONS):
+        d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assignment = d2.argmin(axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = np.flatnonzero(assignment == j)
+            if members.size:
+                new_centers[j] = points[members].mean(axis=0)
+            else:
+                # Re-seat an empty cluster on the worst-fit point so k
+                # stays meaningful (standard Lloyd repair).
+                new_centers[j] = points[int(d2.min(axis=1).argmax())]
+        if np.array_equal(new_centers, centers):
+            break
+        centers = new_centers
+
+    clusters: List[Cluster] = []
+    for j in range(k):
+        members = np.flatnonzero(assignment == j)
+        if not members.size:
+            continue
+        member_d2 = ((points[members] - centers[j]) ** 2).sum(axis=1)
+        representative = int(members[int(member_d2.argmin())])
+        clusters.append(Cluster(representative=representative,
+                                members=tuple(int(m) for m in members)))
+    clusters.sort(key=lambda cluster: cluster.representative)
+    return clusters

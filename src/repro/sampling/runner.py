@@ -1,0 +1,671 @@
+"""The sampled simulation lane: representatives in, whole-run counters out.
+
+Flow (SimPoint-style, arXiv 2402.00649):
+
+1. ``_begin`` exactly as the exact lane: prewarm pages the footprint in
+   and warms the LLC, and fixes the warmup boundary.
+2. The measured window ``[warmup_end, len(trace))`` is partitioned into
+   fixed-size intervals, profiled (:mod:`repro.sampling.intervals`) and
+   clustered (:mod:`repro.sampling.cluster`).
+3. Only each cluster's representative interval is simulated.  The
+   run-loop *skips* the gaps by advancing ``_next_index`` — periodic
+   churn/probe events re-phase off the global index, so a representative
+   executes under the same event schedule positions as in a full run.
+   ``plan.warmup`` references immediately before each representative are
+   replayed unmeasured to re-warm L1/TLB state across the skip.
+4. Per-representative counter deltas are scaled by cluster weight
+   (references represented / references simulated) and summed into
+   whole-run totals; leakage is recharged from the extrapolated runtime
+   with the exact lane's arithmetic.
+5. Cross-representative dispersion yields per-metric relative-error
+   bounds, reported in the result's ``sampling`` block.
+
+Degenerate plans (``max_clusters >= num_intervals``, which includes
+``interval_size >= measured window``) fall through to a plain exact run:
+every counter is bit-identical to the exact lane, and the ``sampling``
+block records ``exact: true``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sampling.cluster import Cluster, cluster_signatures
+from repro.sampling.intervals import partition_intervals, profile_trace
+from repro.sampling.plan import SamplingPlan
+
+__all__ = ["simulate_sampled", "extrapolate_totals", "HEADLINE_METRICS"]
+
+#: The metrics the accuracy contract covers, with their error bounds.
+HEADLINE_METRICS = ("l1_miss_rate", "tlb_miss_rate", "runtime_cycles",
+                    "energy_total_nj")
+
+#: Dynamic energy components (everything but runtime-proportional leakage).
+_ENERGY_FIELDS = ("l1_cpu_lookup_nj", "l1_coherence_lookup_nj", "l1_fill_nj",
+                  "tlb_nj", "tft_nj", "l2_nj", "llc_nj", "dram_nj")
+
+#: Error-bound model constants, calibrated on the golden fixtures
+#: (tests/test_sampling_accuracy.py): observed relative error must land
+#: under ``base + z * dispersion * sqrt(unsampled fraction)`` for every
+#: headline metric on every fixture.
+_BOUND_BASE = {"l1_miss_rate": 0.02, "tlb_miss_rate": 0.03,
+               "runtime_cycles": 0.015, "energy_total_nj": 0.015}
+_BOUND_Z = 2.0
+_BOUND_CAP = 0.5
+#: Rate metrics get a denominator floor: a 0.1% miss rate estimated at
+#: 0.15% is excellent in absolute terms, so relative error for rates is
+#: ``|sampled - exact| / max(exact, _RATE_FLOOR)``.
+_RATE_FLOOR = 0.01
+
+
+def _functional_warm_gap(sim, start: int, stop: int,
+                         ctx: Optional[Dict] = None) -> None:
+    """Functionally warm a skipped trace region (SMARTS-style).
+
+    Two things happen across every skipped index, at a fraction of
+    detailed simulation cost:
+
+    * **Translation replay.**  The skipped references are replayed
+      through the TLB hierarchy's state machine (see :func:`_warm_span`)
+      so TLB contents, LRU order, TFT contents, and 2MB-entry residency
+      arrive at each representative in the *bit-exact* state the exact
+      lane would have.  Without this, pages whose reuse distance exceeds
+      the detailed warmup re-miss at every representative boundary and
+      the TLB miss rate reads high.
+    * **State-changing event replay.**  Context switches (SEESAW
+      partition reshuffle / VIVT flush) and superpage splinter/promote
+      churn fire on their global trace indices, in the run loop's
+      dispatch order.  Background coherence probes are *not* replayed:
+      ``_system_probe`` is a pure observer (``invalidate=False``) whose
+      only effects — stats, probe energy, one RNG draw — are cancelled
+      by the delta discipline, so replaying it buys no architectural
+      fidelity at ~1/12 of the warming cost.
+
+    Stats counters touched here (TLB hits/misses) never leak into
+    results: the measurement loop snapshots *after* warming and works
+    in deltas.  ``ctx`` carries memoized page-table lookups across
+    spans; churn events invalidate it because they remap pages.
+    """
+    config = sim.config
+    cs_interval = config.context_switch_interval
+    if cs_interval is None and config.l1_design == "vivt":
+        cs_interval = config.vivt_flush_interval
+    if ctx is None:
+        ctx = {}
+
+    def _next_fire(interval):
+        if not interval:
+            return None
+        return start + ((interval - 1 - start) % interval)
+
+    # [next_index, interval, action, remaps_pages] for the state-changing
+    # events only, in the run loop's dispatch order (so same-index
+    # firings match it).
+    events = []
+    for interval, action, remaps in (
+            (cs_interval, lambda: _context_switch(sim), False),
+            (config.splinter_interval, sim._churn_splinter, True),
+            (config.promote_interval, sim._churn_promote, True)):
+        fire = _next_fire(interval)
+        if fire is not None and fire < stop:
+            events.append([fire, interval, action, remaps])
+
+    cursor = start
+    while cursor < stop:
+        fire_at = min((e[0] for e in events if e[0] < stop), default=None)
+        if fire_at is None:
+            _warm_span(sim, cursor, stop, ctx)
+            return
+        # The run loop fires events *after* the reference at their index.
+        _warm_span(sim, cursor, fire_at + 1, ctx)
+        for event in events:
+            if event[0] == fire_at:
+                event[2]()
+                event[0] += event[1]
+                if event[3]:
+                    ctx.clear()
+        cursor = fire_at + 1
+
+
+def _fast_warmable(sim) -> bool:
+    """True when :func:`_warm_span_fast` reproduces translation replay
+    bit-exactly: one core, split hierarchy with only the two default L1
+    TLBs, no L2 TLB (misses always walk), no sanitize shadowing, and no
+    fill hooks beyond SEESAW's TFT (whose update path the fast span
+    replays explicitly)."""
+    from repro.core.seesaw import SeesawL1Cache
+    from repro.tlb.hierarchy import SplitTLBHierarchy
+
+    return all(
+        type(hierarchy) is SplitTLBHierarchy
+        and hierarchy.l1_1gb is None
+        and hierarchy.l2_tlb is None
+        and not hierarchy._sanitize
+        and all(getattr(hook, "__func__", None)
+                is SeesawL1Cache.on_tlb_fill
+                for hook in hierarchy._fill_hooks)
+        for hierarchy in sim.tlbs)
+
+
+def _warm_span(sim, start: int, stop: int, ctx: Dict) -> None:
+    """Replay translations for ``[start, stop)`` (no events inside)."""
+    if stop <= start:
+        return
+    if ctx.setdefault("fast", _fast_warmable(sim)):
+        _warm_span_fast(sim, start, stop, ctx)
+        return
+    from repro.mem.page_table import TranslationFault
+
+    manager = sim.manager
+    tlbs = sim.tlbs
+    addresses = sim.trace.addresses
+    trace_cores = sim.trace.cores
+    single = tlbs[0] if len(tlbs) == 1 else None
+    for index in range(start, stop):
+        va = addresses[index]
+        tlb = single if single is not None else tlbs[trace_cores[index]]
+        try:
+            tlb.translate_raw(va)
+        except TranslationFault:
+            manager.touch(va)
+            tlb.translate_raw(va)
+
+
+#: Page kinds for the fast warm path's memoized classification.
+_KIND_4KB, _KIND_2MB, _KIND_SKIP = 0, 1, 2
+
+
+def _warm_span_fast(sim, start: int, stop: int, ctx: Dict) -> None:
+    """O(distinct pages) translation replay for one event-free span.
+
+    Exploits two structural facts about the split hierarchy to avoid the
+    per-reference interpreter cost of :meth:`translate_raw`:
+
+    * The two L1 TLBs never interact: a 4KB reference can only hit or
+      fill ``l1_4kb`` (its 2MB probe is stats-only, and stats cancel in
+      the measurement deltas), and vice versa.  Each structure's state
+      is a function of its own sub-stream alone.
+    * True LRU's final state is the top-``ways`` recency order per set.
+      For the 4KB TLB (no fill hooks listen to 4KB fills) the span's
+      effect is reproduced exactly by replaying, per set, only the last
+      ``ways`` *distinct* touched VPNs oldest-first through
+      :meth:`TLB.fill` — refreshes, evictions, and ``_resident`` all
+      follow the same rules the reference path applies.
+    * The 2MB side cannot collapse to a final state because SEESAW's
+      TFT observes the *fill sequence*, so its sub-stream is replayed
+      in order — but run-length compressed (a reference to the
+      still-MRU region cannot miss, fill, or reorder) and through a
+      hand-inlined hit check instead of the full translate path.
+
+    On multi-core traces each reference touches only its issuing core's
+    hierarchy, and there is no cross-core translation traffic inside an
+    event-free span (shootdowns ride on churn events, which never fire
+    here) — so every core's sub-stream warms independently.
+
+    Page sizes cannot change inside a span (churn fires only at span
+    boundaries and clears ``ctx``), so page-table lookups are memoized
+    in ``ctx`` across spans; the page table is shared by every core.
+    """
+    from repro.mem.address import PageSize
+
+    page_table = sim.tlbs[0].walker.page_table
+    page_info = ctx.setdefault("pages", {})
+
+    addresses, _ = sim.trace.columns()
+    span = addresses[start:stop]
+    vpn = span >> 12
+    uniq = np.unique(vpn)                      # sorted
+    flags = np.empty(uniq.size, dtype=np.int8)
+    for position, page in enumerate(uniq.tolist()):
+        info = page_info.get(page)
+        if info is None:
+            mapping = page_table.lookup(page << 12)
+            if mapping.page_size is PageSize.BASE_4KB:
+                info = (_KIND_4KB, mapping.physical_base >> 12)
+            elif mapping.page_size is PageSize.SUPER_2MB:
+                info = (_KIND_2MB, mapping.physical_base >> 21)
+            else:
+                # 1GB-backed and this hierarchy has no 1GB L1 TLB: the
+                # reference path always misses every L1 (stats only),
+                # walks, fills nothing (`_l1_by_size[SUPER_1GB]` is
+                # None), and the TFT hook ignores non-2MB fills — so
+                # these references leave no architectural state behind.
+                info = (_KIND_SKIP, 0)
+            page_info[page] = info
+        flags[position] = info[0]
+    kinds = flags[np.searchsorted(uniq, vpn)]
+
+    if len(sim.tlbs) == 1:
+        _warm_hierarchy_fast(sim.tlbs[0], span, vpn, kinds, page_info)
+        return
+    cores = ctx.get("cores")
+    if cores is None:
+        cores = ctx["cores"] = np.asarray(sim.trace.cores, dtype=np.int64)
+    span_cores = cores[start:stop]
+    for core, hierarchy in enumerate(sim.tlbs):
+        mask = span_cores == core
+        if mask.any():
+            _warm_hierarchy_fast(hierarchy, span[mask], vpn[mask],
+                                 kinds[mask], page_info)
+
+
+def _warm_hierarchy_fast(hierarchy, span, vpn, kinds, page_info) -> None:
+    """Warm one core's split hierarchy from its ordered sub-stream."""
+    from repro.mem.address import PageSize
+    from repro.tlb.tlb import TLBEntry
+
+    # ---- 2MB TLB (+ TFT when hooked).
+    super_vas = span[kinds == _KIND_2MB]
+    if super_vas.size:
+        regions = super_vas >> 21
+        keep = np.empty(regions.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(regions[1:], regions[:-1], out=keep[1:])
+        comp_vas = super_vas[keep]            # run-length compressed
+        tlb2 = hierarchy.l1_2mb
+        sets2 = tlb2._sets
+        mask2 = tlb2._set_mask
+        super_size = PageSize.SUPER_2MB
+        distinct, first = np.unique(comp_vas >> 21, return_index=True)
+        # The fill *sequence* only matters to fill hooks (SEESAW's TFT),
+        # and only spans that can miss produce fills.  With every
+        # distinct region resident up front no probe can miss (entries
+        # leave a set only through fill evictions, and invalidations
+        # ride on churn events, which never fire inside a span) — so
+        # the hooks stay silent and the LRU final state suffices.
+        sequence_matters = bool(hierarchy._fill_hooks) and not all(
+            any(entry.valid and entry.asid == 0
+                and entry.virtual_page == region
+                for entry in sets2[region & mask2])
+            for region in distinct.tolist())
+        if sequence_matters:
+            fire_fill = hierarchy._fire_fill
+            for va in comp_vas.tolist():
+                region = va >> 21
+                entries = sets2[region & mask2]
+                for position, entry in enumerate(entries):
+                    if (entry.virtual_page == region and entry.asid == 0
+                            and entry.valid):
+                        entries.append(entries.pop(position))
+                        break
+                else:
+                    ppn = page_info[va >> 12][1]
+                    tlb2.fill(region, ppn, super_size, 0)
+                    fire_fill(TLBEntry(region, ppn, super_size, 0))
+        else:
+            region_ppn = {
+                int(region): page_info[int(va) >> 12][1]
+                for region, va in zip(distinct.tolist(),
+                                      comp_vas[first].tolist())}
+            _lru_final_fill(tlb2, comp_vas >> 21, region_ppn, super_size)
+
+    # ---- 4KB TLB: no hooks listen to 4KB fills, so always collapse.
+    base_vpns = vpn[kinds == _KIND_4KB]
+    if base_vpns.size:
+        page_ppn = {int(page): page_info[int(page)][1]
+                    for page in np.unique(base_vpns).tolist()}
+        _lru_final_fill(hierarchy.l1_4kb, base_vpns, page_ppn,
+                        PageSize.BASE_4KB)
+
+
+def _lru_final_fill(tlb, sequence, ppn_by_key, page_size) -> None:
+    """Apply a touch sequence's net effect to a single-size LRU TLB.
+
+    True LRU's final state is the top-``ways`` recency order per set, so
+    replaying only the last ``ways`` *distinct* touched VPNs per set,
+    oldest-first, through :meth:`TLB.fill` reproduces the full replay's
+    final contents, LRU order, and ``_resident`` count exactly —
+    refreshes of resident entries and LRU-front evictions follow the
+    same rules the reference path applies.
+    """
+    # np.unique of the reversed stream: first occurrence in reverse ==
+    # last occurrence in the span, so ascending return_index is
+    # descending recency.
+    uniq, rev_index = np.unique(sequence[::-1], return_index=True)
+    set_mask = tlb._set_mask
+    ways = tlb.ways
+    quota: Dict[int, int] = {}
+    chosen: List[int] = []                     # most recent first
+    for key in uniq[np.argsort(rev_index)].tolist():
+        set_index = key & set_mask
+        used = quota.get(set_index, 0)
+        if used < ways:
+            quota[set_index] = used + 1
+            chosen.append(key)
+    fill = tlb.fill
+    for key in reversed(chosen):               # replay oldest first
+        fill(key, ppn_by_key[key], page_size, 0)
+
+
+def _context_switch(sim) -> None:
+    from repro.cache.vivt import VivtL1Cache
+    from repro.core.seesaw import SeesawL1Cache
+
+    for cache in sim.l1s:
+        if isinstance(cache, SeesawL1Cache):
+            cache.on_context_switch()
+        elif isinstance(cache, VivtL1Cache):
+            cache.flush()
+
+
+def _snapshot(sim) -> Dict:
+    """Flat copy of every counter the extrapolation scales.
+
+    ``cycles`` is a per-core tuple (runtime is the max over cores, which
+    must be taken *after* extrapolation); everything else is scalar.
+    """
+    from repro.core.seesaw import SeesawL1Cache
+
+    counters: Dict = {
+        "cycles": tuple(core.stats.cycles for core in sim.cores),
+        "instructions": sum(core.stats.instructions for core in sim.cores),
+        "l1_hits": sum(l1.stats.hits for l1 in sim.l1s),
+        "l1_misses": sum(l1.stats.misses for l1 in sim.l1s),
+        "l1_ways_probed": sum(l1.stats.ways_probed for l1 in sim.l1s),
+        "tlb_lookups": sum(t.l1_4kb.stats.hits + t.l1_4kb.stats.misses
+                           for t in sim.tlbs),
+        "tlb_hits": sum(t.l1_4kb.stats.hits + t.l1_2mb.stats.hits
+                        for t in sim.tlbs),
+        "superpage_references": sim._superpage_references,
+        "squashes": sum(s.stats.squashes for s in sim.schedulers
+                        if s is not None),
+    }
+    for name in _ENERGY_FIELDS:
+        counters[name] = getattr(sim.energy.breakdown, name)
+    seesaw_l1s = [l1 for l1 in sim.l1s if isinstance(l1, SeesawL1Cache)]
+    counters["tft_lookups"] = sum(l1.tft.stats.lookups for l1 in seesaw_l1s)
+    counters["tft_hits"] = sum(l1.tft.stats.hits for l1 in seesaw_l1s)
+    counters["superpage_accesses"] = sum(
+        l1.seesaw_stats.superpage_accesses for l1 in seesaw_l1s)
+    counters["tft_missed_superpage_l1_hits"] = sum(
+        l1.seesaw_stats.tft_missed_superpage_l1_hits for l1 in seesaw_l1s)
+    counters["tft_missed_superpage_l1_misses"] = sum(
+        l1.seesaw_stats.tft_missed_superpage_l1_misses for l1 in seesaw_l1s)
+    counters["fast_hits"] = sum(l1.seesaw_stats.fast_hits
+                                for l1 in seesaw_l1s)
+    counters["coherence_probes"] = sum(l1.seesaw_stats.coherence_probes
+                                       for l1 in seesaw_l1s)
+    counters["coherence_ways_probed"] = sum(
+        l1.seesaw_stats.coherence_ways_probed for l1 in seesaw_l1s)
+    counters["promotion_sweep_cycles"] = sum(
+        l1.seesaw_stats.promotion_sweep_cycles for l1 in seesaw_l1s)
+    predictors = [l1.way_predictor for l1 in seesaw_l1s
+                  if l1.way_predictor is not None]
+    counters["wp_predictions"] = sum(p.stats.predictions for p in predictors)
+    counters["wp_correct"] = sum(p.stats.correct for p in predictors)
+    return counters
+
+
+def _subtract(after: Dict, before: Dict) -> Dict:
+    delta: Dict = {}
+    for key, end in after.items():
+        start = before[key]
+        if isinstance(end, tuple):
+            delta[key] = tuple(e - s for e, s in zip(end, start))
+        else:
+            delta[key] = end - start
+    return delta
+
+
+def extrapolate_totals(deltas: Sequence[Dict],
+                       ratios: Sequence[float]) -> Dict:
+    """Weighted sum of per-representative counter deltas.
+
+    ``ratios[i]`` is cluster i's represented-to-simulated reference
+    ratio.  When every cluster is a singleton each ratio is exactly 1.0,
+    so the totals equal the plain sum of the deltas — the exactness
+    property pinned in tests/test_properties.py.
+    """
+    if len(deltas) != len(ratios):
+        raise ValueError("one ratio per delta required")
+    totals: Dict = {}
+    for delta, ratio in zip(deltas, ratios):
+        for key, value in delta.items():
+            if isinstance(value, tuple):
+                previous = totals.get(key, (0.0,) * len(value))
+                totals[key] = tuple(p + ratio * v
+                                    for p, v in zip(previous, value))
+            else:
+                totals[key] = totals.get(key, 0.0) + ratio * value
+    return totals
+
+
+def _weighted_dispersion(values: Sequence[float],
+                         weights: Sequence[float]) -> float:
+    """Weighted relative std dev (sigma / |mu|) across representatives."""
+    total = float(sum(weights))
+    if total <= 0.0 or len(values) < 2:
+        return 0.0
+    mean = sum(v * w for v, w in zip(values, weights)) / total
+    variance = sum(w * (v - mean) ** 2
+                   for v, w in zip(values, weights)) / total
+    scale = max(abs(mean), 1e-12)
+    return math.sqrt(variance) / scale
+
+
+def _error_bounds(rep_metrics: Dict[str, List[float]],
+                  weights: Sequence[float],
+                  coverage: float) -> Dict[str, float]:
+    """Per-metric relative-error bounds from cross-representative spread.
+
+    Model: the sampled estimate is a weighted mean over clusters; its
+    error against the exact run grows with how *heterogeneous* the
+    representatives are (dispersion) and with how much of the window was
+    skipped (``1 - coverage``).  Homogeneous traces collapse to the base
+    term, which absorbs per-representative cold-start noise.
+    """
+    unsampled = math.sqrt(max(0.0, 1.0 - coverage))
+    bounds: Dict[str, float] = {}
+    for metric in HEADLINE_METRICS:
+        dispersion = _weighted_dispersion(rep_metrics[metric], weights)
+        bound = _BOUND_BASE[metric] + _BOUND_Z * dispersion * unsampled
+        bounds[metric] = min(_BOUND_CAP, bound)
+    return bounds
+
+
+def _rep_headline_metrics(delta: Dict, refs: int) -> Dict[str, float]:
+    """One representative's headline metrics, from its counter delta."""
+    l1_accesses = delta["l1_hits"] + delta["l1_misses"]
+    tlb_lookups = delta["tlb_lookups"]
+    dynamic_nj = sum(delta[name] for name in _ENERGY_FIELDS)
+    return {
+        "l1_miss_rate": (delta["l1_misses"] / l1_accesses
+                         if l1_accesses else 0.0),
+        "tlb_miss_rate": ((tlb_lookups - delta["tlb_hits"]) / tlb_lookups
+                          if tlb_lookups else 0.0),
+        "runtime_cycles": max(delta["cycles"]) / refs if refs else 0.0,
+        "energy_total_nj": dynamic_nj / refs if refs else 0.0,
+    }
+
+
+def relative_error(sampled: float, exact: float,
+                   rate_metric: bool = False) -> float:
+    """The accuracy contract's error definition (see README).
+
+    Rate metrics use a denominator floor of ``_RATE_FLOOR`` so that
+    near-zero miss rates don't turn microscopic absolute deviations into
+    unbounded relative ones.
+    """
+    floor = _RATE_FLOOR if rate_metric else 1e-12
+    return abs(sampled - exact) / max(abs(exact), floor)
+
+
+def _sampling_block(plan: SamplingPlan, warmup_fraction: float,
+                    intervals, clusters: List[Cluster],
+                    simulated_refs: int, total_refs: int,
+                    bounds: Dict[str, float], exact: bool) -> Dict:
+    return {
+        "sampled": True,
+        "exact": exact,
+        "interval_size": plan.interval_size,
+        "max_clusters": plan.max_clusters,
+        "warmup": plan.warmup,
+        "seed": plan.seed,
+        "warmup_fraction": warmup_fraction,
+        "num_intervals": len(intervals),
+        "num_clusters": len(clusters),
+        "representatives": [cluster.representative for cluster in clusters],
+        "cluster_weights": [cluster.weight for cluster in clusters],
+        "simulated_references": simulated_refs,
+        "total_references": total_refs,
+        "coverage": simulated_refs / total_refs if total_refs else 1.0,
+        "error_bounds": bounds,
+    }
+
+
+def simulate_sampled(config, trace, plan: SamplingPlan,
+                     warmup_fraction: float = 0.25,
+                     timings: Optional[Dict[str, float]] = None):
+    """Run the sampled lane; returns a :class:`SimulationResult` whose
+    ``sampling`` attribute carries the lane metadata and error bounds.
+
+    ``timings``, when given, receives per-stage wall-clock seconds
+    (``construct``/``prewarm``/``profile``/``cluster``/``loop``/
+    ``collect``) for the bench harness.
+    """
+    from repro.energy.accounting import EnergyBreakdown
+    from repro.sim.stats import SimulationResult
+    from repro.sim.system import SystemSimulator
+
+    def _stamp(stage: str, start: float) -> float:
+        now = time.perf_counter()
+        if timings is not None:
+            timings[stage] = timings.get(stage, 0.0) + (now - start)
+        return now
+
+    mark = time.perf_counter()
+    sim = SystemSimulator(config, trace)
+    mark = _stamp("construct", mark)
+    sim._begin(warmup_fraction)
+    mark = _stamp("prewarm", mark)
+
+    total = len(trace)
+    warmup_end = sim._warmup_end or 0
+    measured_refs = total - warmup_end
+    intervals = partition_intervals(total, plan.interval_size,
+                                    start=warmup_end)
+
+    if plan.max_clusters >= len(intervals):
+        # Degenerate plan: full coverage. Run the exact lane verbatim so
+        # every counter (and the journal bytes derived from them) is
+        # bit-identical to an unsampled run.
+        clusters = [Cluster(representative=i, members=(i,))
+                    for i in range(len(intervals))]
+        mark = _stamp("cluster", mark)
+        sim.run_until(total)
+        mark = _stamp("loop", mark)
+        result = sim._collect()
+        _stamp("collect", mark)
+        result.sampling = _sampling_block(
+            plan, warmup_fraction, intervals, clusters,
+            simulated_refs=measured_refs, total_refs=measured_refs,
+            bounds={metric: 0.0 for metric in HEADLINE_METRICS}, exact=True)
+        return result
+
+    signatures = profile_trace(trace, intervals)
+    mark = _stamp("profile", mark)
+    clusters = cluster_signatures(signatures, plan.max_clusters,
+                                  seed=plan.seed)
+    mark = _stamp("cluster", mark)
+
+    # In-loop warmup reset would zero our deltas mid-measurement; the
+    # delta discipline below makes it unnecessary (warmup contamination
+    # cancels in after-minus-before).
+    sim._warmup_end = None
+
+    deltas: List[Dict] = []
+    ratios: List[float] = []
+    weights: List[float] = []
+    rep_metrics: Dict[str, List[float]] = {m: [] for m in HEADLINE_METRICS}
+    simulated_refs = 0
+    # Memoized page-table lookups for the fast warm path; detailed
+    # windows can remap pages via churn events, so drop the memo after
+    # each one when churn is configured.
+    warm_ctx: Dict = {}
+    churny = bool(config.splinter_interval or config.promote_interval)
+    for cluster in clusters:
+        lo, hi = intervals[cluster.representative]
+        warm_start = max(sim._next_index, lo - plan.warmup)
+        if warm_start > sim._next_index:
+            _functional_warm_gap(sim, sim._next_index, warm_start, warm_ctx)
+        sim._next_index = warm_start         # skip the gap
+        if warm_start < lo:
+            sim.run_until(lo)                # unmeasured warmup replay
+        before = _snapshot(sim)
+        sim.run_until(hi)
+        if churny:
+            warm_ctx.pop("pages", None)
+        delta = _subtract(_snapshot(sim), before)
+        rep_refs = hi - lo
+        weight_refs = float(sum(intervals[m][1] - intervals[m][0]
+                                for m in cluster.members))
+        deltas.append(delta)
+        ratios.append(weight_refs / rep_refs)
+        weights.append(weight_refs)
+        simulated_refs += hi - warm_start
+        for metric, value in _rep_headline_metrics(delta, rep_refs).items():
+            rep_metrics[metric].append(value)
+    mark = _stamp("loop", mark)
+
+    totals = extrapolate_totals(deltas, ratios)
+    runtime = round(max(totals["cycles"]))
+    runtime += round(totals["promotion_sweep_cycles"])
+    breakdown = EnergyBreakdown(
+        **{name: totals[name] for name in _ENERGY_FIELDS})
+    # Leakage: the exact lane's record_runtime arithmetic, term for term.
+    seconds = runtime / (config.frequency_ghz * 1e9)
+    breakdown.leakage_nj = sim.energy.leakage_mw * 1e-3 * seconds * 1e9
+
+    references = measured_refs
+    result = SimulationResult(
+        config_description=config.describe(),
+        workload=trace.name,
+        runtime_cycles=runtime,
+        instructions=round(totals["instructions"]),
+        energy=breakdown,
+        l1_hits=round(totals["l1_hits"]),
+        l1_misses=round(totals["l1_misses"]),
+        l1_ways_probed=round(totals["l1_ways_probed"]),
+        memory_references=references,
+        superpage_reference_fraction=(
+            totals["superpage_references"] / references if references
+            else 0.0),
+        footprint_superpage_fraction=sim._region_coverage(),
+    )
+    result.tlb_hits = round(totals["tlb_hits"])
+    result.tlb_misses = max(0, round(totals["tlb_lookups"])
+                            - result.tlb_hits)
+    if totals["tft_lookups"]:
+        result.tft_hit_rate = totals["tft_hits"] / totals["tft_lookups"]
+    super_accesses = round(totals["superpage_accesses"])
+    if super_accesses:
+        missed_h = round(totals["tft_missed_superpage_l1_hits"])
+        missed_m = round(totals["tft_missed_superpage_l1_misses"])
+        result.superpage_accesses = super_accesses
+        result.tft_missed_superpage_l1_hits = missed_h
+        result.tft_missed_superpage_l1_misses = missed_m
+        result.tft_missed_superpage_fraction = (
+            (missed_h + missed_m) / super_accesses)
+        result.fast_hits = round(totals["fast_hits"])
+        result.coherence_probes = round(totals["coherence_probes"])
+        result.coherence_ways_probed = round(
+            totals["coherence_ways_probed"])
+    if totals["wp_predictions"]:
+        result.way_prediction_accuracy = (
+            totals["wp_correct"] / totals["wp_predictions"])
+    result.squashes = round(totals["squashes"])
+
+    coverage = (sum(intervals[c.representative][1]
+                    - intervals[c.representative][0] for c in clusters)
+                / measured_refs if measured_refs else 1.0)
+    bounds = _error_bounds(rep_metrics, weights, coverage)
+    _stamp("collect", mark)
+    result.sampling = _sampling_block(
+        plan, warmup_fraction, intervals, clusters,
+        simulated_refs=simulated_refs, total_refs=measured_refs,
+        bounds=bounds, exact=False)
+    return result

@@ -44,6 +44,7 @@ from repro.sim.config import SystemConfig
 __all__ = [
     "request_digest",
     "base_config_from_params",
+    "sampling_plan_from_params",
     "load_request_params",
     "save_request_params",
     "execute_job",
@@ -73,6 +74,19 @@ def base_config_from_params(params: Dict) -> SystemConfig:
         way_prediction=params["way_prediction"],
         seed=params["seed"],
     )
+
+
+def sampling_plan_from_params(params: Dict):
+    """The request's :class:`~repro.sampling.SamplingPlan`, or ``None``
+    for the exact lane.  The protocol layer guarantees the tuning keys
+    are present exactly when ``sampled`` is true."""
+    if not params.get("sampled"):
+        return None
+    from repro.sampling import SamplingPlan
+
+    return SamplingPlan(interval_size=params["interval_size"],
+                        max_clusters=params["max_clusters"],
+                        warmup=params["warmup"])
 
 
 # --------------------------------------------------------- request sidecar
@@ -133,11 +147,14 @@ def _cell_digests(params: Dict) -> List[Tuple[str, str, str, str]]:
     """``(workload, design, config_digest, trace_digest)`` per cell.
 
     Traces come from the memoized builder, so digest computation shares
-    work with the simulation that may follow.
+    work with the simulation that may follow.  Sampled requests fold the
+    plan into each cell's config digest, so their journal records and
+    cache entries live in a namespace the exact lane can never hit.
     """
     from repro.workloads.suite import cached_trace
 
     base = base_config_from_params(params)
+    plan = sampling_plan_from_params(params)
     cells = []
     trace_digests: Dict[str, str] = {}
     for workload in params["workloads"]:
@@ -147,7 +164,12 @@ def _cell_digests(params: Dict) -> List[Tuple[str, str, str, str]]:
             trace_digests[workload] = trace_digest(trace)
         for design in params["designs"]:
             config = base.with_design(design)
-            cells.append((workload, design, config_digest(config),
+            digest = config_digest(config)
+            if plan is not None:
+                from repro.sampling import sampling_cell_digest
+
+                digest = sampling_cell_digest(digest, plan)
+            cells.append((workload, design, digest,
                           trace_digests[workload]))
     return cells
 
@@ -163,14 +185,18 @@ def _preseed_from_cache(journal, params: Dict, cache: ResultCache,
     if journal.exists():
         _, done = journal.read()
     else:
-        journal.write_header({
+        header_fields = {
             "config": config_to_dict(base_config),
             "config_digest": config_digest(base_config),
             "workloads": params["workloads"],
             "designs": params["designs"],
             "trace_length": params["length"],
             "seed": params["seed"],
-        })
+        }
+        plan = sampling_plan_from_params(params)
+        if plan is not None:
+            header_fields["sampling"] = plan.to_dict()
+        journal.write_header(header_fields)
     preseeded = 0
     for workload, design, cfg_digest, trc_digest in _cell_digests(params):
         record = done.get((workload, design))
@@ -239,6 +265,7 @@ def execute_job(job: Job, spool: Path, cache: ResultCache,
 
     params = job.params
     base_config = base_config_from_params(params)
+    sampling_plan = sampling_plan_from_params(params)
     journal_path = spool / f"{job.digest}.jsonl"
     journal = SweepJournal(journal_path)
     save_request_params(spool, job.digest, params)
@@ -259,6 +286,7 @@ def execute_job(job: Job, spool: Path, cache: ResultCache,
         retry_backoff_s=retry_backoff_s,
         deadline_s=deadline_s,
         interrupt_state=job.interrupt,
+        sampling_plan=sampling_plan,
     )
     started = time.monotonic()
     if params["jobs"] > 1:
@@ -294,6 +322,20 @@ def execute_job(job: Job, spool: Path, cache: ResultCache,
         "failures": [failure.as_dict() for failure in report.failures],
         "elapsed_s": round(elapsed, 3),
     }
+    if sampling_plan is not None:
+        # Worst observed per-metric bound across cells: the request-level
+        # accuracy contract a client can check without walking every cell.
+        bounds: Dict[str, float] = {}
+        for by_design in report.results.values():
+            for result in by_design.values():
+                block = result.sampling or {}
+                for metric, bound in (block.get("error_bounds")
+                                      or {}).items():
+                    bounds[metric] = max(bounds.get(metric, 0.0),
+                                         float(bound))
+        payload["sampled"] = True
+        payload["sampling"] = {"plan": sampling_plan.to_dict(),
+                               "error_bounds": bounds}
     if report.paused:
         payload["pause_reason"] = report.pause_reason
         payload["resume_hint"] = report.resume_hint

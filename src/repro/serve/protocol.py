@@ -70,9 +70,12 @@ MAX_BODY_BYTES = 1_000_000
 
 #: Params that define *what is simulated* — the request digest (and so
 #: the journal path and resume token) covers exactly these, so retries,
-#: deadlines, and wait-mode changes dedupe onto the same journal.
+#: deadlines, and wait-mode changes dedupe onto the same journal.  The
+#: sampling keys only appear in validated params when ``sampled`` is
+#: true, so exact requests keep their historical digests.
 SIM_PARAM_KEYS = ("workloads", "designs", "length", "seed", "size_kb",
-                  "freq", "core", "memhog", "way_prediction")
+                  "freq", "core", "memhog", "way_prediction",
+                  "sampled", "interval_size", "max_clusters", "warmup")
 
 _DESIGNS = ("vipt", "pipt", "vivt", "seesaw")
 _CORES = ("ooo", "inorder")
@@ -96,6 +99,12 @@ _PARAM_FORMS = {
     "core": f"core: one of {', '.join(_CORES)}",
     "memhog": "memhog: fraction in [0, 0.75]",
     "way_prediction": "way_prediction: bool",
+    "sampled": "sampled: bool, run the sampled interval-simulation lane",
+    "interval_size": "interval_size: refs per sampling interval, int >= 1 "
+                     "(requires sampled)",
+    "max_clusters": "max_clusters: sampling cluster budget, int >= 1 "
+                    "(requires sampled)",
+    "warmup": "warmup: sampling warmup refs, int >= 0 (requires sampled)",
     "jobs": "jobs: parallel workers for this request, int >= 1",
     "timeout_s": "timeout_s: per-cell wall clock, float > 0",
     "retries": "retries: transient-failure retries, int >= 0",
@@ -286,6 +295,26 @@ def validate_params(method: str, params: Dict) -> Dict:
         out["memhog"] = float(memhog)
         out["way_prediction"] = _as_bool(
             "way_prediction", params.get("way_prediction", False))
+        sampled = _as_bool("sampled", params.get("sampled", False))
+        tuning = [key for key in ("interval_size", "max_clusters", "warmup")
+                  if params.get(key) is not None]
+        if tuning and not sampled:
+            raise _invalid(tuning[0],
+                           "only valid with sampled: true (the exact lane "
+                           "has no sampling intervals)")
+        if sampled:
+            from repro.sampling import SamplingPlan
+
+            defaults = SamplingPlan()
+            out["sampled"] = True
+            out["interval_size"] = _as_int(
+                "interval_size",
+                params.get("interval_size", defaults.interval_size), 1)
+            out["max_clusters"] = _as_int(
+                "max_clusters",
+                params.get("max_clusters", defaults.max_clusters), 1)
+            out["warmup"] = _as_int(
+                "warmup", params.get("warmup", defaults.warmup), 0)
 
     out["jobs"] = _as_int("jobs", params.get("jobs", 1), 1)
     if params.get("timeout_s") is not None:

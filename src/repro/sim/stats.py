@@ -49,7 +49,13 @@ class SimulationResult:
     squashes: int = 0
     coherence_probes: int = 0
     coherence_ways_probed: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
     way_prediction_accuracy: Optional[float] = None
+    #: sampled-lane metadata (plan, coverage, per-metric error bounds);
+    #: ``None`` for exact runs — and absent from their serialized form,
+    #: so exact-lane journals and golden fixtures keep their schema.
+    sampling: Optional[Dict] = None
     #: fault-injection kinds applied during the run (resilience harness);
     #: empty for normal runs.
     faults_injected: List[str] = field(default_factory=list)
@@ -67,6 +73,12 @@ class SimulationResult:
         return self.l1_hits / accesses if accesses else 0.0
 
     @property
+    def tlb_miss_rate(self) -> float:
+        """TLB misses over translations (both L1 TLBs probed per access)."""
+        lookups = self.tlb_hits + self.tlb_misses
+        return self.tlb_misses / lookups if lookups else 0.0
+
+    @property
     def l1_mpki(self) -> float:
         """L1 misses per kilo-instruction."""
         return (1000.0 * self.l1_misses / self.instructions
@@ -81,7 +93,7 @@ class SimulationResult:
     def to_dict(self) -> Dict:
         """Flatten the result (including the energy breakdown) to plain
         Python types, for JSON export and downstream analysis."""
-        return {
+        payload = {
             "config": self.config_description,
             "workload": self.workload,
             "runtime_cycles": self.runtime_cycles,
@@ -105,12 +117,18 @@ class SimulationResult:
             "squashes": self.squashes,
             "coherence_probes": self.coherence_probes,
             "coherence_ways_probed": self.coherence_ways_probed,
+            "tlb_hits": self.tlb_hits,
+            "tlb_misses": self.tlb_misses,
+            "tlb_miss_rate": self.tlb_miss_rate,
             "way_prediction_accuracy": self.way_prediction_accuracy,
             "faults_injected": list(self.faults_injected),
             "energy_nj": self.energy.as_dict(),
             "energy_total_nj": self.total_energy_nj,
             "extra": dict(self.extra),
         }
+        if self.sampling is not None:
+            payload["sampling"] = dict(self.sampling)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SimulationResult":
@@ -148,8 +166,11 @@ class SimulationResult:
             squashes=payload["squashes"],
             coherence_probes=payload["coherence_probes"],
             coherence_ways_probed=payload["coherence_ways_probed"],
+            tlb_hits=payload.get("tlb_hits", 0),
+            tlb_misses=payload.get("tlb_misses", 0),
             way_prediction_accuracy=payload["way_prediction_accuracy"],
             faults_injected=list(payload.get("faults_injected", ())),
+            sampling=payload.get("sampling"),
             extra=dict(payload["extra"]),
         )
 

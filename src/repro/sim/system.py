@@ -890,6 +890,15 @@ class SystemSimulator:
                 self._superpage_references / references if references else 0.0),
             footprint_superpage_fraction=self._region_coverage(),
         )
+        # Every access probes both L1 TLBs in parallel (translate_raw), so
+        # the 4KB structure's lookup count is the translation count; a hit
+        # in either structure is a TLB hit.
+        tlb_lookups = sum(t.l1_4kb.stats.hits + t.l1_4kb.stats.misses
+                          for t in self.tlbs)
+        tlb_hits = sum(t.l1_4kb.stats.hits + t.l1_2mb.stats.hits
+                       for t in self.tlbs)
+        result.tlb_hits = tlb_hits
+        result.tlb_misses = max(0, tlb_lookups - tlb_hits)
         seesaw_l1s = [l1 for l1 in self.l1s if isinstance(l1, SeesawL1Cache)]
         if seesaw_l1s:
             lookups = sum(l1.tft.stats.lookups for l1 in seesaw_l1s)

@@ -81,6 +81,23 @@ class MemoryTrace:
         """Distinct 4KB pages touched."""
         return len({a // page_bytes for a in self.addresses})
 
+    def columns(self):
+        """``(addresses, writes)`` as cached numpy arrays.
+
+        The simulator's per-reference loop wants plain lists, but
+        array-rate consumers (the sampling profiler slices thousands of
+        intervals) want vectorized views.  Cached because traces are
+        treated as immutable by every read-only consumer; anything that
+        mutates a trace in place (fault injection's ``trace-truncate``)
+        runs on the exact lane, which never calls this.
+        """
+        cols = getattr(self, "_columns", None)
+        if cols is None or len(cols[0]) != len(self.addresses):
+            cols = (np.asarray(self.addresses, dtype=np.int64),
+                    np.asarray(self.writes, dtype=bool))
+            self._columns = cols
+        return cols
+
     def slice_for_core(self, core: int) -> "MemoryTrace":
         """Extract one core's references (order preserved)."""
         idx = [i for i, c in enumerate(self.cores) if c == core]

@@ -413,3 +413,42 @@ class TestErrorTaxonomy:
         exc = SweepInterrupted(signal.SIGINT, "runs/j.jsonl")
         assert "SIGINT" in str(exc)
         assert "repro resume runs/j.jsonl" in str(exc)
+
+
+# ----------------------------------------------------- sampled lane
+
+class TestSampledLaneChaos:
+    """The sampled lane rides the same self-healing machinery: a killed
+    worker degrades, doctor passes the journal, and a resume converges
+    to the uninterrupted sampled journal byte-for-byte."""
+
+    def _plan(self):
+        from repro.sampling import SamplingPlan
+        # 10 intervals, 4 representatives at LENGTH=2000: genuine
+        # sampling (the default plan would degenerate to exact here).
+        return SamplingPlan(interval_size=200, max_clusters=4, warmup=50)
+
+    def test_sampled_kill_and_resume_round_trip(self, tmp_path):
+        plan = self._plan()
+        reference = tmp_path / "ref.jsonl"
+        report = run_sweep(reference, sampling_plan=plan)
+        assert report.ok
+        header, _ = SweepJournal(reference).read()
+        assert header["sampling"] == plan.to_dict()
+
+        target = tmp_path / "kill.jsonl"
+        with chaos.armed(chaos.HostFaultPlan.parse(["worker-kill@0"])):
+            degraded = run_sweep(target, max_retries=0, sampling_plan=plan)
+        assert len(degraded.failures) == 1
+        assert degraded.failures[0].error_class == "CellCrash"
+
+        # The interrupted journal is canonical (doctor-clean) and still
+        # declares its sampling plan, so resume rebuilds the right lane.
+        diagnosis = diagnose_journal(target)
+        assert diagnosis.healthy, diagnosis
+        header, _ = SweepJournal(target).read()
+        assert header["sampling"] == plan.to_dict()
+
+        resumed = run_sweep(target, sampling_plan=plan)
+        assert resumed.ok
+        assert target.read_bytes() == reference.read_bytes()

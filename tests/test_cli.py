@@ -244,3 +244,76 @@ class TestServeParser:
         args = build_parser().parse_args(["bench", "--quick", "--serve"])
         assert args.serve is True
         assert build_parser().parse_args(["bench"]).serve is False
+
+
+class TestSampledCommands:
+    def test_sampled_run_json_carries_sampling_block(self, capsys):
+        assert main(["run", "gups", "--length", "8000", "--sampled",
+                     "--interval-size", "400", "--max-clusters", "4",
+                     "--warmup", "100", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        block = payload["sampling"]
+        assert block["sampled"] is True
+        assert block["exact"] is False
+        assert 0.0 < block["coverage"] < 1.0
+        assert set(block["error_bounds"]) == {
+            "l1_miss_rate", "tlb_miss_rate", "runtime_cycles",
+            "energy_total_nj"}
+
+    def test_sampled_run_text_output(self, capsys):
+        assert main(["run", "gups", "--length", "8000", "--sampled",
+                     "--interval-size", "400", "--max-clusters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+
+    def test_sampled_refuses_fault_injection(self, capsys):
+        assert main(["run", "gups", "--length", "4000", "--sampled",
+                     "--inject", "tft-false-positive@2000"]) == 2
+        err = capsys.readouterr().err
+        assert "--sampled" in err and "--inject" in err
+        assert "valid choices" in err
+
+    def test_sampled_refuses_exact_checkpoint_restore(self, tmp_path,
+                                                      capsys):
+        source = tmp_path / "exact.ckpt"
+        assert main(["run", "gups", "--length", "3000",
+                     "--checkpoint", str(source),
+                     "--checkpoint-every", "1000"]) == 0
+        capsys.readouterr()
+        assert main(["run", "gups", "--length", "3000", "--sampled",
+                     "--from-checkpoint", str(source)]) == 2
+        err = capsys.readouterr().err
+        assert "--from-checkpoint" in err and "valid choices" in err
+
+    def test_sampled_refuses_checkpoint_writing(self, tmp_path, capsys):
+        assert main(["run", "gups", "--length", "3000", "--sampled",
+                     "--checkpoint", str(tmp_path / "out.ckpt")]) == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint" in err and "valid choices" in err
+
+    def test_tuning_flags_require_sampled(self, capsys):
+        assert main(["run", "gups", "--length", "3000",
+                     "--interval-size", "500"]) == 2
+        err = capsys.readouterr().err
+        assert "--interval-size" in err and "--sampled" in err
+
+    def test_sweep_refuses_sampled_fault_injection(self, capsys):
+        assert main(["sweep", "--workloads", "gups", "--length", "3000",
+                     "--sampled", "--inject", "energy-skew@100"]) == 2
+        err = capsys.readouterr().err
+        assert "--sampled" in err and "--inject" in err
+        assert "valid choices" in err
+
+    def test_sampled_sweep_journal_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "sampled.jsonl"
+        assert main(["sweep", "--workloads", "gups", "--length", "8000",
+                     "--sampled", "--interval-size", "400",
+                     "--max-clusters", "4", "--journal",
+                     str(journal)]) == 0
+        capsys.readouterr()
+        header = json.loads(journal.read_text().splitlines()[0])
+        assert header["sampling"]["interval_size"] == 400
+        # resume reconstructs the plan from the header: all reused
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "reused" in out

@@ -109,3 +109,55 @@ class TestEndToEndDeterminism:
             result = SystemSimulator(SystemConfig(seed=2), trace).run()
             runs.append(result.to_dict())
         assert runs[0] == runs[1]
+
+
+class TestSampledDeterminism:
+    """The sampled lane inherits the full reproducibility contract:
+    same (config, trace, plan) -> bit-identical result, in-process and
+    across independent interpreter processes."""
+
+    PLAN_KWARGS = dict(interval_size=400, max_clusters=4, warmup=100)
+
+    @pytest.mark.parametrize("design", ["seesaw", "vipt", "pipt", "vivt"])
+    def test_sampled_result_dict_identical(self, design):
+        from repro.sampling import SamplingPlan
+        from repro.sampling.runner import simulate_sampled
+        plan = SamplingPlan(**self.PLAN_KWARGS)
+        trace = build_trace(get_workload("redis"), length=5000, seed=13)
+        config = SystemConfig(l1_design=design, seed=13)
+        r1 = simulate_sampled(config, trace, plan).to_dict()
+        r2 = simulate_sampled(config, trace, plan).to_dict()
+        assert r1["sampling"]["exact"] is False
+        assert r1 == r2
+
+    def test_sampled_run_bit_identical_across_processes(self):
+        """Two fresh interpreters produce byte-identical --sampled JSON —
+        no hidden dependence on hash seeds, import order, or PID."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def run(hash_seed):
+            env["PYTHONHASHSEED"] = hash_seed
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "run", "gups",
+                 "--length", "5000", "--sampled",
+                 "--interval-size", "400", "--max-clusters", "4",
+                 "--warmup", "100", "--json"],
+                capture_output=True, env=env, timeout=120)
+            assert proc.returncode == 0, proc.stderr.decode()
+            return proc.stdout
+
+        first = run("1")
+        second = run("2")  # different hash seed must not matter
+        assert first == second
+        payload = json.loads(first)
+        assert payload["sampling"]["sampled"] is True

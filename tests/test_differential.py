@@ -129,3 +129,71 @@ class TestSanitizerTransparency:
             SystemConfig(l1_design=design, seed=42, sanitize=True),
             "redis", trace_length=LENGTH, seed=42)
         assert checked.to_dict() == plain.to_dict()
+
+
+class TestSampledLaneEquivalence:
+    """The sampled lane honours the same serial/parallel bit-identity
+    contract as the exact lane, and stays in its own digest namespace."""
+
+    # At LENGTH=4000 the default plan would degenerate to exact
+    # (7 intervals <= K=10); this plan genuinely samples: 10 intervals,
+    # 4 representatives.
+    PLAN_KWARGS = dict(interval_size=400, max_clusters=4, warmup=100)
+
+    def _plan(self):
+        from repro.sampling import SamplingPlan
+        return SamplingPlan(**self.PLAN_KWARGS)
+
+    def _serial(self, tmp_path, name):
+        path = tmp_path / name
+        report = resilient_sweep(SystemConfig(seed=42), WORKLOADS,
+                                 trace_length=LENGTH, journal_path=path,
+                                 sampling_plan=self._plan())
+        return report, path.read_bytes()
+
+    def _parallel(self, tmp_path, name, jobs):
+        path = tmp_path / name
+        report = parallel_sweep(SystemConfig(seed=42), WORKLOADS,
+                                trace_length=LENGTH, journal_path=path,
+                                jobs=jobs, sampling_plan=self._plan())
+        return report, path.read_bytes()
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_sampled_journal_bytes_identical(self, tmp_path, jobs):
+        _, serial_bytes = self._serial(tmp_path, "serial.jsonl")
+        _, parallel_bytes = self._parallel(tmp_path, f"par{jobs}.jsonl",
+                                           jobs)
+        assert parallel_bytes == serial_bytes
+
+    def test_sampled_result_payloads_identical(self, tmp_path):
+        serial, _ = self._serial(tmp_path, "serial.jsonl")
+        parallel, _ = self._parallel(tmp_path, "par.jsonl", 2)
+        assert _payloads(parallel) == _payloads(serial)
+        for payload in _payloads(serial).values():
+            assert payload["sampling"]["sampled"] is True
+            assert payload["sampling"]["exact"] is False
+
+    def test_sampled_and_exact_lanes_never_share_digests(self, tmp_path):
+        """Per-cell digests are lane-separated (the shared header digest
+        names the base config and is the same on purpose)."""
+        _, sampled_bytes = self._serial(tmp_path, "sampled.jsonl")
+        _, exact_bytes = _sweep_serial(tmp_path, "exact.jsonl")
+
+        def cell_digests(raw):
+            records = [json.loads(line) for line in raw.splitlines()]
+            return {r["config_digest"] for r in records
+                    if r["type"] == "done"}
+
+        assert cell_digests(sampled_bytes)
+        assert cell_digests(sampled_bytes).isdisjoint(
+            cell_digests(exact_bytes))
+
+    def test_sampled_journal_resumes_under_serial_runner(self, tmp_path):
+        _, path_bytes = self._parallel(tmp_path, "cross.jsonl", 2)
+        report = resilient_sweep(SystemConfig(seed=42), WORKLOADS,
+                                 trace_length=LENGTH,
+                                 journal_path=tmp_path / "cross.jsonl",
+                                 resume=True, sampling_plan=self._plan())
+        assert report.reused == len(WORKLOADS) * 2
+        assert report.executed == 0
+        assert (tmp_path / "cross.jsonl").read_bytes() == path_bytes

@@ -219,3 +219,96 @@ class TestSeesawInvariants:
             result = cache.access(va, pa, PageSize.SUPER_2MB)
             assert result.hit and result.fast_path
             assert result.ways_probed == 4
+
+
+# ------------------------------------------------- sampling invariants
+
+from repro.sampling import (  # noqa: E402  (grouped with its test class)
+    cluster_signatures,
+    extrapolate_totals,
+    interval_signature,
+    partition_intervals,
+)
+
+
+class TestSamplingProperties:
+    @given(st.integers(min_value=0, max_value=50_000),
+           st.integers(min_value=1, max_value=5_000),
+           st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_covers_trace_exactly_once(self, total, size, start):
+        """Every index in [start, total) lands in exactly one interval,
+        intervals are in order, adjacent, and never empty."""
+        intervals = partition_intervals(total, size, start=start)
+        if start >= total:
+            assert intervals == []
+            return
+        assert intervals[0][0] == start
+        assert intervals[-1][1] == total
+        for lo, hi in intervals:
+            assert lo < hi  # never empty
+            assert hi - lo <= size
+        for (_, prev_hi), (lo, _) in zip(intervals, intervals[1:]):
+            assert lo == prev_hi  # adjacent: no gap, no overlap
+
+    @given(st.lists(st.tuples(st.integers(min_value=0,
+                                          max_value=(1 << 40) - 1),
+                              st.booleans()),
+                    min_size=1, max_size=200),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_signature_permutation_stable_and_deterministic(self, refs,
+                                                            rng):
+        """A signature is a set property of the interval: permuting the
+        references changes nothing, and recomputing is bit-identical."""
+        addresses = [a for a, _ in refs]
+        writes = [w for _, w in refs]
+        original = interval_signature(addresses, writes)
+        assert interval_signature(addresses, writes).tolist() \
+            == original.tolist()
+        shuffled = list(refs)
+        rng.shuffle(shuffled)
+        permuted = interval_signature([a for a, _ in shuffled],
+                                      [w for _, w in shuffled])
+        assert permuted.tolist() == original.tolist()
+
+    @given(st.lists(st.lists(st.floats(min_value=-100.0, max_value=100.0,
+                                       allow_nan=False),
+                             min_size=4, max_size=4),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_cluster_weights_partition_intervals(self, signatures, k, seed):
+        """Clusters partition the interval index set: weights sum to the
+        interval count and every index appears in exactly one cluster."""
+        clusters = cluster_signatures(signatures, k, seed=seed)
+        assert sum(c.weight for c in clusters) == len(signatures)
+        members = [m for c in clusters for m in c.members]
+        assert sorted(members) == list(range(len(signatures)))
+        for cluster in clusters:
+            assert cluster.representative in cluster.members
+
+    @given(st.lists(st.lists(st.floats(min_value=-10.0, max_value=10.0,
+                                       allow_nan=False),
+                             min_size=2, max_size=2),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_clustering_deterministic_under_fixed_seed(self, signatures,
+                                                       seed):
+        assert cluster_signatures(signatures, 3, seed=seed) \
+            == cluster_signatures(signatures, 3, seed=seed)
+
+    @given(st.lists(st.dictionaries(
+        st.sampled_from(["hits", "misses", "cycles", "energy"]),
+        st.integers(min_value=0, max_value=10**9),
+        min_size=1, max_size=4), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_extrapolation_exact_for_singleton_clusters(self, deltas):
+        """With every cluster a singleton each ratio is 1.0, so the
+        extrapolated totals equal the plain sum of the deltas — the
+        degenerate lane's exactness rests on this identity."""
+        totals = extrapolate_totals(deltas, [1.0] * len(deltas))
+        for key in {k for d in deltas for k in d}:
+            assert totals[key] == sum(d.get(key, 0) for d in deltas)

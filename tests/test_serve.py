@@ -564,3 +564,57 @@ class TestServer:
         assert figures["round_trips"] == 3
         assert figures["round_trips_per_sec"] > 0
         assert figures["p50_s"] <= figures["p95_s"]
+
+
+class TestSampledProtocol:
+    """Protocol + digest behaviour of the sampled lane at the service
+    boundary: validation of the tuning keys, and the guarantee that a
+    sampled request can never alias an exact one in the cache."""
+
+    def test_sampled_run_fills_plan_defaults(self):
+        out = validate_params("run", {"workload": "gups", "sampled": True})
+        from repro.sampling import SamplingPlan
+        plan = SamplingPlan()
+        assert out["sampled"] is True
+        assert out["interval_size"] == plan.interval_size
+        assert out["max_clusters"] == plan.max_clusters
+        assert out["warmup"] == plan.warmup
+
+    def test_exact_request_omits_sampling_keys(self):
+        out = validate_params("run", {"workload": "gups"})
+        assert "sampled" not in out
+        assert "interval_size" not in out
+
+    def test_tuning_keys_require_sampled(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_params("run", {"workload": "gups",
+                                    "interval_size": 500})
+        assert info.value.code == INVALID_PARAMS
+        assert "sampled" in str(info.value)
+
+    def test_sampled_digest_differs_from_exact(self):
+        from repro.serve.jobs import request_digest
+        exact = validate_params("run", {"workload": "gups"})
+        sampled = validate_params("run", {"workload": "gups",
+                                          "sampled": True})
+        assert request_digest(exact) != request_digest(sampled)
+
+    def test_exact_digests_unchanged_by_sampling_support(self):
+        """Adding the sampled keys to the schema must not shift the
+        digest of a plain exact request (cache/journal compatibility)."""
+        out = validate_params("run", {"workload": "gups"})
+        assert all(k not in out
+                   for k in ("sampled", "interval_size", "max_clusters",
+                             "warmup"))
+
+    def test_sampling_plan_reconstructed_from_params(self):
+        from repro.sampling import SamplingPlan
+        from repro.serve.jobs import sampling_plan_from_params
+        assert sampling_plan_from_params({"workload": "gups"}) is None
+        params = validate_params("run", {"workload": "gups",
+                                         "sampled": True,
+                                         "interval_size": 450,
+                                         "max_clusters": 6})
+        plan = sampling_plan_from_params(params)
+        assert plan == SamplingPlan(interval_size=450, max_clusters=6,
+                                    warmup=SamplingPlan().warmup)
