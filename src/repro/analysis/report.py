@@ -29,6 +29,48 @@ def format_table(headers: Sequence[str],
     return "\n".join(lines)
 
 
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, minimizing every coordinate.
+
+    Point *a* dominates *b* when it is no worse on every coordinate and
+    strictly better on at least one; ties (identical points) are all kept
+    on the front.  O(n^2), fine for campaign-sized grids.
+    """
+    materialized = [tuple(point) for point in points]
+    front: List[int] = []
+    for i, candidate in enumerate(materialized):
+        dominated = False
+        for j, other in enumerate(materialized):
+            if j == i or other == candidate:
+                continue
+            if all(o <= c for o, c in zip(other, candidate)) \
+                    and any(o < c for o, c in zip(other, candidate)):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def pareto_ranks(points: Sequence[Sequence[float]]) -> List[int]:
+    """Pareto rank per point: 1 for the front, 2 after peeling it, ...
+
+    The classic non-dominated-sorting peel: campaigns use it to order a
+    merged grid by runtime-vs-energy trade-off quality.
+    """
+    remaining = list(range(len(points)))
+    ranks = [0] * len(points)
+    rank = 0
+    while remaining:
+        rank += 1
+        front = pareto_front([points[i] for i in remaining])
+        front_ids = {remaining[position] for position in front}
+        for index in sorted(front_ids):
+            ranks[index] = rank
+        remaining = [i for i in remaining if i not in front_ids]
+    return ranks
+
+
 def format_series(name: str, values: Mapping[str, float],
                   unit: str = "%", precision: int = 2) -> str:
     """Render one named series (e.g. per-workload improvements)."""

@@ -1,0 +1,78 @@
+"""Fault-tolerant distributed campaigns.
+
+A *campaign* scales the journaled-sweep machinery from one process to N
+independent shard workers — separate processes or hosts whose only
+shared medium is the campaign directory:
+
+* :mod:`repro.campaign.spec` — the campaign identity: named axes over
+  the config space, a deterministic cell grid, one SHA-256 digest;
+* :mod:`repro.campaign.lease` — crash-safe lease files (atomic
+  ``O_EXCL`` claim, heartbeat renewal, wall-clock expiry, rename-based
+  steal) so exactly one live shard executes a cell at a time and a dead
+  shard's cells are reclaimed, not lost;
+* :mod:`repro.campaign.journal` — per-shard journals in the sweep
+  journal's checksummed JSONL format;
+* :mod:`repro.campaign.shard` — the worker loop: claim, execute under a
+  heartbeat, journal, settle; bounded reclaim degrades stubborn cells
+  into provenance-rich failures instead of wedging the campaign;
+* :mod:`repro.campaign.merge` — the merge doctor: salvage every
+  checksum-valid record, quarantine torn lines, resolve duplicate cells
+  deterministically, and rewrite one canonical journal whose bytes are
+  identical to a serial single-process run of the same campaign;
+* :mod:`repro.campaign.analysis` — Pareto-front (runtime vs energy)
+  ranking of the merged result.
+
+The CLI surface is ``repro campaign init/run/worker/status/merge/
+report``, sharing the documented exit-code contract (0 ok, 1 failed
+cells, 2 usage, 4 unsettled-but-resumable).
+"""
+
+from repro.campaign.analysis import campaign_pareto, format_pareto
+from repro.campaign.journal import CampaignShardJournal, shard_journal_path
+from repro.campaign.lease import (
+    DEFAULT_LEASE_TTL_S,
+    Lease,
+    LeaseDir,
+)
+from repro.campaign.merge import (
+    MERGED_FILENAME,
+    MergeReport,
+    merge_campaign,
+    read_merged,
+)
+from repro.campaign.shard import (
+    ShardReport,
+    campaign_status,
+    run_shard,
+)
+from repro.campaign.spec import (
+    AXIS_FIELDS,
+    CampaignCell,
+    CampaignSpec,
+    load_spec,
+    parse_axis_argument,
+    smoke_spec,
+)
+
+__all__ = [
+    "AXIS_FIELDS",
+    "DEFAULT_LEASE_TTL_S",
+    "MERGED_FILENAME",
+    "CampaignCell",
+    "CampaignShardJournal",
+    "CampaignSpec",
+    "Lease",
+    "LeaseDir",
+    "MergeReport",
+    "ShardReport",
+    "campaign_pareto",
+    "campaign_status",
+    "format_pareto",
+    "load_spec",
+    "merge_campaign",
+    "parse_axis_argument",
+    "read_merged",
+    "run_shard",
+    "shard_journal_path",
+    "smoke_spec",
+]

@@ -1,0 +1,94 @@
+"""Pareto-front analysis of a merged campaign (runtime vs energy).
+
+A campaign sweeps a design space; the question it answers is rarely
+"which cell is fastest" but "which cells are *efficient*" — no other
+point beats them on both runtime and energy.  This module projects the
+canonical merged journal onto that (runtime_cycles, energy_total_nj)
+plane per workload and ranks every completed cell with the
+non-dominated-sorting peel from :mod:`repro.analysis.report`.
+
+Ranking is per workload: cells of different workloads run different
+traces, so cross-workload dominance would compare apples to oranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table, pareto_ranks
+from repro.campaign.merge import read_merged
+
+
+def campaign_pareto(merged_path) -> Dict:
+    """Structured Pareto analysis of a merged campaign journal.
+
+    Returns ``{"campaign", "cells", "failed", "rows"}`` where each row
+    carries the cell id, its axis values, runtime, energy, and its
+    per-workload Pareto rank (rank 1 = on the front); failed cells are
+    listed but not ranked.
+    """
+    header, records = read_merged(merged_path)
+    done = [record for record in records if record.get("type") == "done"]
+    failed = [record for record in records
+              if record.get("type") == "failed"]
+    by_workload: Dict[str, List[Dict]] = {}
+    for record in done:
+        workload = str(record.get("values", {}).get("workload", ""))
+        by_workload.setdefault(workload, []).append(record)
+    rows: List[Dict] = []
+    for workload in by_workload:
+        group = by_workload[workload]
+        points = [(record["result"]["runtime_cycles"],
+                   record["result"]["energy_total_nj"])
+                  for record in group]
+        ranks = pareto_ranks(points)
+        for record, rank, point in zip(group, ranks, points):
+            rows.append({
+                "cell": record["cell"],
+                "values": dict(record.get("values", {})),
+                "runtime_cycles": point[0],
+                "energy_nj": round(point[1], 1),
+                "pareto_rank": rank,
+            })
+    rows.sort(key=lambda row: (row["pareto_rank"], row["cell"]))
+    return {
+        "campaign": header.get("campaign", ""),
+        "cells": header.get("cells", len(records)),
+        "done": len(done),
+        "failed": [{"cell": record["cell"],
+                    "error_class": record.get("error_class", ""),
+                    "shard": record.get("shard", ""),
+                    "attempts": record.get("attempts", 0)}
+                   for record in failed],
+        "rows": rows,
+    }
+
+
+def format_pareto(analysis: Dict) -> str:
+    """Render the analysis as the aligned table the CLI prints."""
+    def describe(values: Dict) -> str:
+        return " ".join(f"{axis}={value}" for axis, value in values.items()
+                        if axis != "workload")
+
+    rows = [[row["pareto_rank"],
+             row["values"].get("workload", ""),
+             describe(row["values"]),
+             row["runtime_cycles"],
+             row["energy_nj"]]
+            for row in analysis["rows"]]
+    table = format_table(
+        ["rank", "workload", "configuration", "runtime(cycles)",
+         "energy(nJ)"],
+        rows,
+        title=(f"campaign {analysis['campaign']}: Pareto ranking "
+               f"(runtime vs energy, rank 1 = efficient frontier)"))
+    lines = [table]
+    for record in analysis["failed"]:
+        lines.append(
+            f"FAILED cell {record['cell']}: {record['error_class']} "
+            f"[shard {record['shard'] or '?'}, "
+            f"{record['attempts']} attempt(s)] — excluded from ranking")
+    return "\n".join(lines)
+
+
+__all__ = ["campaign_pareto", "format_pareto"]

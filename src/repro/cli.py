@@ -25,7 +25,14 @@
   JSON-RPC front end over the same sweep machinery, with per-client
   quotas, a bounded pending pool, per-request deadlines, a
   content-addressed result cache, and graceful drain on SIGINT/SIGTERM
-  (see :mod:`repro.serve`).
+  (see :mod:`repro.serve`);
+* ``campaign``   — fault-tolerant distributed campaigns: ``init`` a
+  named-axes grid, ``run``/``worker`` N shard processes that claim
+  cells via crash-safe leases and journal per shard, ``status`` the
+  settled/leased/pending split, ``merge`` every shard journal into one
+  canonical journal (salvaging torn records, resolving lease-steal
+  duplicates), and ``report`` the runtime-vs-energy Pareto ranking
+  (see :mod:`repro.campaign`).
 
 Every command accepts ``--seed`` and ``--length`` so results are exactly
 reproducible, and every simulating command accepts ``--sanitize`` to arm
@@ -167,7 +174,8 @@ def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
                              "(repeatable); kinds: worker-kill, "
                              "journal-enospc, journal-eio, journal-torn, "
                              "checkpoint-enospc, checkpoint-eio, "
-                             "checkpoint-torn, sigint, sigterm")
+                             "checkpoint-torn, sigint, sigterm, "
+                             "shard-kill, lease-steal, stale-lock")
     parser.add_argument("--no-supervise", action="store_true",
                         help="disable worker heartbeats and watchdogs "
                              "(parallel sweeps are supervised by default)")
@@ -623,6 +631,209 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _campaign_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by ``campaign run`` and ``campaign worker``."""
+    parser.add_argument("--ttl", metavar="SECONDS", type=float,
+                        default=15.0,
+                        help="lease lifetime; a shard that stops "
+                             "heartbeating loses its cells after this "
+                             "long and survivors reclaim them")
+    parser.add_argument("--heartbeat", metavar="SECONDS", type=float,
+                        default=None,
+                        help="lease renewal period (default ttl/3)")
+    parser.add_argument("--timeout", metavar="SECONDS", type=float,
+                        default=None,
+                        help="wall-clock budget per cell attempt")
+    parser.add_argument("--retries", metavar="N", type=int, default=1,
+                        help="transient-failure retries per claim, and "
+                             "the reclaim budget (1+N claim generations) "
+                             "before a cell degrades to FailedCell")
+    parser.add_argument("--stall-timeout", metavar="SECONDS", type=float,
+                        default=None,
+                        help="give up (exit 4, resumable) after this "
+                             "long without campaign progress "
+                             "(default max(4*ttl, 20))")
+    parser.add_argument("--isolate", action="store_true",
+                        help="run each cell in a watchdogged subprocess")
+    parser.add_argument("--chaos", metavar="KIND@N[:BYTES]",
+                        action="append", default=None,
+                        help="inject deterministic host faults "
+                             "(campaign kinds: shard-kill, lease-steal, "
+                             "stale-lock; plus the journal/checkpoint "
+                             "kinds)")
+
+
+def _print_campaign_status(status: dict) -> int:
+    """Render a campaign status snapshot; returns the contract exit."""
+    rows = [["cells", status["cells"]],
+            ["settled", status["settled"]],
+            ["done", status["done"]],
+            ["failed", status["failed"]],
+            ["leased (live)", status["leased_live"]],
+            ["leased (expired)", status["leased_expired"]],
+            ["pending", status["pending"]]]
+    for shard, records in sorted(status["shards"].items()):
+        rows.append([f"shard {shard}", f"{records} record(s)"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"campaign {status['campaign']} "
+                             f"({status['spec_digest'][:12]}...)"))
+    if not status["complete"]:
+        print("campaign incomplete — resume with: "
+              "python -m repro campaign run <dir>", file=sys.stderr)
+        from repro.resilience.errors import EXIT_PAUSED
+        return EXIT_PAUSED
+    return 1 if status["failed"] else 0
+
+
+def _campaign_worker_argv(args: argparse.Namespace, shard_id: str,
+                          with_chaos: bool) -> List[str]:
+    argv = [sys.executable, "-m", "repro", "campaign", "worker", args.dir,
+            "--shard-id", shard_id, "--ttl", str(args.ttl),
+            "--retries", str(args.retries)]
+    if args.heartbeat is not None:
+        argv += ["--heartbeat", str(args.heartbeat)]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    if args.stall_timeout is not None:
+        argv += ["--stall-timeout", str(args.stall_timeout)]
+    if args.isolate:
+        argv.append("--isolate")
+    if with_chaos and args.chaos:
+        for spec in args.chaos:
+            argv += ["--chaos", spec]
+    return argv
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Dispatch ``repro campaign <init|run|worker|status|merge|report>``."""
+    from repro.campaign import (
+        CampaignSpec,
+        campaign_pareto,
+        campaign_status,
+        format_pareto,
+        merge_campaign,
+        parse_axis_argument,
+        run_shard,
+    )
+
+    if args.campaign_command == "init":
+        spec = CampaignSpec(
+            name=args.name,
+            axes=[parse_axis_argument(axis) for axis in args.axis],
+            trace_length=args.length,
+            seed=args.seed)
+        path = spec.save(args.dir)
+        cells = spec.cells()
+        print(f"campaign {spec.name}: {len(cells)} cell(s), spec digest "
+              f"{spec.digest()[:12]}..., wrote {path}")
+        return 0
+
+    if args.campaign_command == "worker":
+        from repro.resilience import chaos
+        with chaos.armed(_chaos_plan_from_args(args)):
+            report = run_shard(
+                args.dir, args.shard_id,
+                ttl_s=args.ttl, heartbeat_s=args.heartbeat,
+                timeout_s=args.timeout, max_retries=args.retries,
+                stall_timeout_s=args.stall_timeout,
+                isolate=args.isolate)
+        print(f"shard {report.shard_id}: executed {report.executed}, "
+              f"reclaimed {report.reclaimed}, failed {report.failed}, "
+              f"settled {report.settled_total}/{report.cells_total}")
+        if report.pause_reason:
+            print(f"PAUSED: {report.pause_reason}", file=sys.stderr)
+        if not report.complete:
+            from repro.resilience.errors import EXIT_PAUSED
+            return EXIT_PAUSED
+        return 1 if report.failed else 0
+
+    if args.campaign_command == "run":
+        import os as _os
+        import subprocess
+
+        import repro as _repro
+
+        env = dict(_os.environ)
+        package_root = str(_os.path.dirname(_os.path.dirname(
+            _os.path.abspath(_repro.__file__))))
+        env["PYTHONPATH"] = package_root + _os.pathsep + env.get(
+            "PYTHONPATH", "")
+        workers = []
+        for index in range(args.shards):
+            shard_id = f"shard-{index}"
+            argv = _campaign_worker_argv(
+                args, shard_id, with_chaos=(index == args.chaos_shard))
+            workers.append((shard_id, subprocess.Popen(argv, env=env)))
+        for shard_id, worker in workers:
+            code = worker.wait()
+            if code < 0:
+                import signal as _signal
+                try:
+                    name = _signal.Signals(-code).name
+                except ValueError:
+                    name = f"signal {-code}"
+                print(f"{shard_id}: died on {name} — its leased cells "
+                      f"expire and survivors reclaim them",
+                      file=sys.stderr)
+            elif code not in (0, 1):
+                print(f"{shard_id}: exit {code}", file=sys.stderr)
+        return _print_campaign_status(campaign_status(args.dir))
+
+    if args.campaign_command == "status":
+        status = campaign_status(args.dir)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            from repro.resilience.errors import EXIT_PAUSED
+            return (EXIT_PAUSED if not status["complete"]
+                    else 1 if status["failed"] else 0)
+        return _print_campaign_status(status)
+
+    if args.campaign_command == "merge":
+        report = merge_campaign(args.dir, output_path=args.output)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+            return report.exit_code
+        print(f"campaign {report.campaign}: merged {report.salvaged} "
+              f"record(s) from {len(report.shards)} shard journal(s) "
+              f"into {report.output_path}")
+        if report.quarantined:
+            print(f"  quarantined {report.quarantined} corrupt line(s): "
+                  f"{', '.join(report.quarantine_paths)}")
+        for cell, winner, losers in report.resolutions:
+            print(f"  duplicate {cell}: kept shard {winner}, superseded "
+                  f"{', '.join(losers)}")
+        for note in report.notes:
+            print(f"  note: {note}")
+        for failure in report.failed_cells:
+            print(f"  FAILED cell {failure['cell']}: "
+                  f"{failure['error_class']} [shard "
+                  f"{failure['shard'] or '?'}, {failure['attempts']} "
+                  f"attempt(s)]")
+        if report.missing_cells:
+            print(f"  {len(report.missing_cells)} cell(s) unsettled: "
+                  f"{', '.join(report.missing_cells[:8])}"
+                  f"{'...' if len(report.missing_cells) > 8 else ''}",
+                  file=sys.stderr)
+            print("  resume with: python -m repro campaign run "
+                  f"{args.dir}", file=sys.stderr)
+        return report.exit_code
+
+    if args.campaign_command == "report":
+        from pathlib import Path
+
+        from repro.campaign import MERGED_FILENAME
+        merged = (Path(args.merged) if args.merged
+                  else Path(args.dir) / MERGED_FILENAME)
+        analysis = campaign_pareto(merged)
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(format_pareto(analysis))
+        return 1 if analysis["failed"] else 0
+
+    raise ValueError(f"unknown campaign command {args.campaign_command!r}")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.simlint import cli as simlint_cli
     argv: List[str] = list(args.paths)
@@ -803,6 +1014,74 @@ def build_parser() -> argparse.ArgumentParser:
                             "queueing and execution; unbounded if unset)")
     _add_supervision_arguments(serve)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-tolerant distributed campaigns over a shared "
+             "directory (sharded journals, lease-based cell claiming, "
+             "crash reclaim, merge doctor)")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    campaign_init = campaign_sub.add_parser(
+        "init", help="write a campaign spec (axes x workloads grid)")
+    campaign_init.add_argument("dir", help="campaign directory")
+    campaign_init.add_argument("--name", required=True,
+                               help="campaign name (stamped in the digest)")
+    campaign_init.add_argument("--axis", metavar="NAME=V1,V2,...",
+                               action="append", required=True,
+                               help="one axis (repeatable, order matters); "
+                                    "a workload axis is required; config "
+                                    "axes: design, size_kb, freq, core, "
+                                    "memhog, aging, way_prediction, "
+                                    "tft_entries, partition_ways, "
+                                    "num_cores, thp")
+    campaign_init.add_argument("--length", type=int, default=30_000,
+                               help="trace length per cell")
+    campaign_init.add_argument("--seed", type=int, default=42,
+                               help="RNG seed shared by every cell")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run N shard workers to completion and print status")
+    campaign_run.add_argument("dir", help="campaign directory")
+    campaign_run.add_argument("--shards", metavar="N", type=int, default=2,
+                              help="shard worker processes to spawn")
+    campaign_run.add_argument("--chaos-shard", metavar="K", type=int,
+                              default=0,
+                              help="which shard index arms --chaos "
+                                   "(faults are per-process)")
+    _campaign_exec_arguments(campaign_run)
+
+    campaign_worker = campaign_sub.add_parser(
+        "worker", help="run one shard worker in this process")
+    campaign_worker.add_argument("dir", help="campaign directory")
+    campaign_worker.add_argument("--shard-id", required=True,
+                                 help="this worker's shard identity "
+                                      "(stable across restarts)")
+    _campaign_exec_arguments(campaign_worker)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="settled/leased/pending cell counts")
+    campaign_status_p.add_argument("dir", help="campaign directory")
+    campaign_status_p.add_argument("--json", action="store_true")
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="salvage and merge shard journals into one "
+                      "canonical journal")
+    campaign_merge.add_argument("dir", help="campaign directory")
+    campaign_merge.add_argument("--output", metavar="PATH", default=None,
+                                help="canonical journal destination "
+                                     "(default <dir>/merged.journal)")
+    campaign_merge.add_argument("--json", action="store_true")
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="Pareto-front analysis (runtime vs energy) of the "
+                       "merged campaign")
+    campaign_report.add_argument("dir", help="campaign directory")
+    campaign_report.add_argument("--merged", metavar="PATH", default=None,
+                                 help="merged journal to analyse "
+                                      "(default <dir>/merged.journal)")
+    campaign_report.add_argument("--json", action="store_true")
+
     lint = sub.add_parser("lint",
                           help="run the simlint static analyser")
     lint.add_argument("paths", nargs="+",
@@ -826,6 +1105,7 @@ _HANDLERS = {
     "bench": cmd_bench,
     "lint": cmd_lint,
     "serve": cmd_serve,
+    "campaign": cmd_campaign,
 }
 
 

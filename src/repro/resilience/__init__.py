@@ -38,6 +38,7 @@ from repro.resilience.errors import (
     EXIT_SANITIZER,
     EXIT_USAGE,
     AdmissionError,
+    CampaignError,
     CellCrash,
     CellHung,
     CellResourceLimit,
@@ -102,6 +103,7 @@ __all__ = [
     "EXIT_INTERRUPT_BASE",
     "ReproResilienceError",
     "AdmissionError",
+    "CampaignError",
     "CellCrash",
     "CellHung",
     "CellResourceLimit",

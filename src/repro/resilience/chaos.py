@@ -25,6 +25,17 @@ host fault kind           effect
 ``sigint@N``              deliver SIGINT to the sweep process right after
                           its N-th *successful* journal append
 ``sigterm@N``             deliver SIGTERM likewise
+``shard-kill@N``          SIGKILL this campaign shard worker the instant it
+                          starts executing its N-th claimed cell — the
+                          canonical "a host died mid-campaign" drill
+``lease-steal@N``         backdate the shard's N-th acquired lease to
+                          already-expired and stop renewing it, simulating
+                          a partitioned/wedged shard whose cells other
+                          shards reclaim mid-run (duplicate records are
+                          resolved deterministically at merge)
+``stale-lock@N``          plant an expired lease owned by a phantom shard
+                          in front of the N-th claim attempt, forcing the
+                          claim through the steal/reclaim path
 ========================  ==================================================
 
 Plans are armed process-locally (:func:`arm` / :func:`disarm` /
@@ -55,6 +66,9 @@ HOST_FAULT_KINDS = (
     "checkpoint-torn",
     "sigint",
     "sigterm",
+    "shard-kill",
+    "lease-steal",
+    "stale-lock",
 )
 
 _TORN_KINDS = frozenset(("journal-torn", "checkpoint-torn"))
@@ -186,6 +200,29 @@ def worker_kill_due() -> bool:
     if _STATE is None:
         return False
     return _STATE.take("worker-kill", {"worker-kill"}) is not None
+
+
+def shard_kill_due() -> bool:
+    """Count one campaign-cell execution start on this shard worker; True
+    when the armed plan wants the whole shard SIGKILLed right now (the
+    shard module delivers the signal to its own pid)."""
+    if _STATE is None:
+        return False
+    return _STATE.take("shard-cell", {"shard-kill"}) is not None
+
+
+def lease_fault() -> Optional[str]:
+    """Count one lease-claim attempt; return the lease fault due now.
+
+    ``"stale-lock"`` asks the claimant to plant an expired phantom lease
+    *before* claiming (exercising the steal path); ``"lease-steal"`` asks
+    it to backdate the lease it is about to acquire and stop renewing
+    (so another shard reclaims the cell mid-run).  ``None`` otherwise.
+    """
+    if _STATE is None:
+        return None
+    spec = _STATE.take("lease-claim", {"lease-steal", "stale-lock"})
+    return spec.kind if spec is not None else None
 
 
 def write_fault(stream: str, data: bytes) -> Optional[bytes]:

@@ -27,6 +27,7 @@ from typing import Dict, Tuple
 
 from repro.resilience import chaos
 from repro.resilience.errors import CheckpointError
+from repro.resilience.fsio import replace_durable
 
 __all__ = [
     "MAGIC",
@@ -136,7 +137,7 @@ def save_checkpoint(path, sim) -> None:
                 raise OSError(
                     f"chaos: torn checkpoint write ({len(torn)} of "
                     f"{len(blob)} bytes)")
-            os.replace(temp, destination)
+            replace_durable(temp, destination)
         except OSError as exc:
             raise CheckpointError(
                 f"{destination}: checkpoint write failed ({exc}) — the "

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.resilience.checkpoint import MAGIC, load_checkpoint
 from repro.resilience.errors import CheckpointError, JournalError
+from repro.resilience.fsio import fsync_parent_dir, replace_durable
 from repro.resilience.runner import SweepJournal
 
 __all__ = [
@@ -124,6 +125,18 @@ def _cell_inventory(header: Dict,
     return rerun, failed
 
 
+def _failure_provenance(cell: Tuple[str, str], record: Dict) -> str:
+    """Render one failed cell with its shard/attempt provenance (where the
+    record carries it) so a post-mortem can attribute the failure."""
+    text = f"({cell[0]}, {cell[1]})"
+    details = []
+    if record.get("shard"):
+        details.append(f"shard {record['shard']}")
+    if record.get("attempts"):
+        details.append(f"{record['attempts']} attempt(s)")
+    return f"{text} [{', '.join(details)}]" if details else text
+
+
 def diagnose_journal(path) -> Diagnosis:
     """Inspect a journal without modifying it; never raises on content."""
     path = Path(path)
@@ -168,7 +181,13 @@ def diagnose_journal(path) -> Diagnosis:
     diagnosis.rerun_cells, diagnosis.failed_cells = _cell_inventory(
         header, entries)
     if diagnosis.failed_cells:
-        cells = ", ".join(f"({w}, {d})" for w, d in diagnosis.failed_cells)
+        last: Dict[Tuple[str, str], Dict] = {}
+        for _number, _line, record in entries:
+            if record is not None and record.get("type") == "failed":
+                last[(record["workload"], record["design"])] = record
+        cells = ", ".join(
+            _failure_provenance(cell, last.get(cell, {}))
+            for cell in diagnosis.failed_cells)
         diagnosis.notes.append(
             f"{len(diagnosis.failed_cells)} cell(s) on record as degraded "
             f"failures: {cells}; resume retries them")
@@ -203,6 +222,7 @@ def repair_journal(path) -> Diagnosis:
                                         sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        fsync_parent_dir(quarantine)
         diagnosis.quarantine_path = str(quarantine)
         diagnosis.quarantined = len(corrupt)
     # Canonical rebuild: header + last valid record per cell in matrix
@@ -227,7 +247,7 @@ def repair_journal(path) -> Diagnosis:
             handle.write(content)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(temp, path)
+        replace_durable(temp, path)
     finally:
         if temp.exists():
             temp.unlink()
@@ -273,7 +293,7 @@ def repair_checkpoint(path) -> Diagnosis:
     if diagnosis.healthy or not diagnosis.repairable:
         return diagnosis
     quarantine = path.with_name(path.name + ".quarantine")
-    os.replace(path, quarantine)
+    replace_durable(path, quarantine)
     diagnosis.quarantine_path = str(quarantine)
     diagnosis.quarantined = 1
     diagnosis.repaired = True

@@ -102,6 +102,13 @@ class JournalError(ReproResilienceError):
     """A sweep journal is unreadable or inconsistent."""
 
 
+class CampaignError(ReproResilienceError):
+    """A distributed campaign's spec, directory, or shard state is
+    unusable as described (bad axis declarations, a shard journal from a
+    different campaign, a merge over an empty shard set).  Maps to the
+    usage exit code: the operator must fix the campaign, not retry it."""
+
+
 class CheckpointError(ReproResilienceError):
     """A checkpoint could not be written, read, or applied."""
 

@@ -1,0 +1,52 @@
+"""Durable filesystem primitives shared by the atomic writers.
+
+Every journal canonicalization, checkpoint publish, result-cache entry,
+and campaign lease/marker in this codebase follows the same recipe:
+write a sibling temp file, flush, fsync, ``os.replace`` over the target.
+That makes the *file contents* crash-safe — but the rename itself lives
+in the directory, and a power loss before the directory's metadata
+reaches the platter can resurrect the old file (or drop the new one)
+even though ``os.replace`` returned.  :func:`fsync_parent_dir` closes
+that window; :func:`replace_durable` bundles the whole rename-then-sync
+step so call sites cannot forget it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_parent_dir", "replace_durable"]
+
+
+def fsync_parent_dir(path) -> None:
+    """fsync the directory holding ``path`` so a completed rename (or
+    unlink) survives power loss, not just a process crash.
+
+    Best-effort by design: platforms and filesystems that cannot open a
+    directory for reading (or reject fsync on one) are silently skipped —
+    the caller's rename already happened and remains crash-consistent;
+    only the power-loss guarantee degrades to the platform's default.
+    """
+    parent = Path(path).resolve().parent
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_durable(temp, target) -> None:
+    """``os.replace(temp, target)`` followed by a parent-directory fsync.
+
+    The replace is atomic against crashes either way; the directory fsync
+    additionally pins the rename across power loss before the caller
+    reports the publish as done.
+    """
+    os.replace(temp, target)
+    fsync_parent_dir(target)

@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.resilience import chaos
 from repro.resilience.checkpoint import config_digest, config_to_dict
+from repro.resilience.fsio import replace_durable
 from repro.resilience.errors import (
     CellCrash,
     CellError,
@@ -101,9 +102,29 @@ def retry_rng_for(seed: int) -> random.Random:
     return random.Random((seed & 0xFFFFFFFF) ^ 0x5EE5AB0F)
 
 
+def execution_host() -> str:
+    """``host:pid`` provenance for degradation records written here.
+
+    Post-mortems of a distributed campaign (or a served request) need to
+    attribute a failure to the process that observed it; this is the
+    default value threaded into :class:`FailedCell.shard` when no
+    campaign shard id applies.
+    """
+    import socket
+
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 @dataclass
 class FailedCell:
-    """A (workload, design) cell that failed after all retries."""
+    """A (workload, design) cell that failed after all retries.
+
+    ``shard`` and ``attempts`` are failure provenance: which shard worker
+    (campaigns), or which ``host:pid`` (sweeps and served requests),
+    observed the final failure, and how many attempts it burned.  Both
+    ride the journal record and every degradation payload, so a
+    post-mortem can attribute a failure to a host.
+    """
 
     workload: str
     design: str
@@ -112,6 +133,7 @@ class FailedCell:
     traceback: str
     config_digest: str
     attempts: int
+    shard: str = ""
 
     def as_dict(self) -> Dict:
         return {
@@ -122,6 +144,7 @@ class FailedCell:
             "traceback": self.traceback,
             "config_digest": self.config_digest,
             "attempts": self.attempts,
+            "shard": self.shard,
         }
 
 
@@ -322,9 +345,10 @@ class SweepJournal:
         bytes independent of that order, so an interrupted-and-resumed
         sweep ends with the same journal as an uninterrupted one.
 
-        Atomic: the new content is written to a sibling temp file, fsynced,
-        and ``os.replace``d over the journal.  Returns True when the file
-        content changed.
+        Atomic and durable: the new content is written to a sibling temp
+        file, fsynced, ``os.replace``d over the journal, and the parent
+        directory is fsynced so the rename survives power loss.  Returns
+        True when the file content changed.
         """
         header, cells = self.read()
         if cell_order is None:
@@ -349,7 +373,7 @@ class SweepJournal:
             handle.write(content)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(temp, self.path)
+        replace_durable(temp, self.path)
         return True
 
 
@@ -484,7 +508,7 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                           timeout_s: Optional[float], max_retries: int,
                           retry_backoff_s: float, fail_fast: bool,
                           rng=None, deadline_at: Optional[float] = None,
-                          sampling_plan=None):
+                          sampling_plan=None, shard: str = ""):
     """Run one cell, retrying transient failures.
 
     Returns ``(result, None, attempts)`` on success, or
@@ -498,6 +522,9 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
     deadline: the per-attempt watchdog is clamped to the remaining
     budget, and a retry that cannot fit degrades immediately with error
     class ``DeadlineExceeded`` instead of sleeping past the deadline.
+    ``shard`` stamps failure provenance onto any :class:`FailedCell`
+    (campaign shard workers pass their shard id; plain sweeps leave it
+    empty so journal bytes stay independent of the executing process).
     """
     digest = config_digest(config)
     if sampling_plan is not None:
@@ -520,7 +547,7 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                     workload=workload, design=config.l1_design,
                     error_class=type(exc).__name__, message=str(exc),
                     traceback="", config_digest=digest,
-                    attempts=attempt - 1), attempt - 1
+                    attempts=attempt - 1, shard=shard), attempt - 1
             effective_timeout = (remaining if timeout_s is None
                                  else min(timeout_s, remaining))
         try:
@@ -556,7 +583,7 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
             failure = FailedCell(
                 workload=workload, design=config.l1_design,
                 error_class=type(exc).__name__, message=str(exc),
-                traceback="", config_digest=digest, attempts=attempt)
+                traceback="", config_digest=digest, attempts=attempt, shard=shard)
             return None, failure, attempt
         except CellError as exc:
             if fail_fast:
@@ -565,7 +592,7 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                 workload=workload, design=config.l1_design,
                 error_class=exc.error_class, message=exc.message,
                 traceback=exc.traceback_text, config_digest=digest,
-                attempts=attempt)
+                attempts=attempt, shard=shard)
             return None, failure, attempt
         except Exception as exc:  # noqa: BLE001 - degrade, don't die
             if fail_fast:
@@ -574,7 +601,7 @@ def _execute_with_retries(config, workload: str, trace_length: int, seed: int,
                 workload=workload, design=config.l1_design,
                 error_class=type(exc).__name__, message=str(exc),
                 traceback=traceback.format_exc(), config_digest=digest,
-                attempts=attempt)
+                attempts=attempt, shard=shard)
             return None, failure, attempt
 
 

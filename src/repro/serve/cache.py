@@ -11,8 +11,8 @@ Two tiers:
 
 * an in-memory LRU bounded by ``capacity`` entries;
 * an optional disk tier under ``<spool>/cache/``: one JSON file per
-  key, written atomically (temp + ``os.replace``) with an embedded
-  payload checksum.  A corrupt or torn file is simply a miss — the cell
+  key, written atomically and durably (temp + ``os.replace`` + parent
+  directory fsync) with an embedded payload checksum.  A corrupt or torn file is simply a miss — the cell
   re-simulates and the entry is rewritten; the cache never propagates
   bad bytes.
 """
@@ -26,6 +26,8 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional
+
+from repro.resilience.fsio import replace_durable
 
 __all__ = ["ResultCache", "result_key"]
 
@@ -117,7 +119,7 @@ class ResultCache:
                 json.dump(entry, handle, sort_keys=True)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(temp, path)
+            replace_durable(temp, path)
         except OSError:
             # The cache is an accelerator, not a durability promise: disk
             # trouble degrades to re-simulation, it never fails a request.

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.resilience.checkpoint import config_digest, trace_digest
 from repro.resilience.errors import JobNotFound, SweepInterrupted
+from repro.resilience.runner import execution_host
 from repro.serve.cache import ResultCache, result_key
 from repro.serve.pending import Job
 from repro.serve.protocol import SIM_PARAM_KEYS
@@ -103,13 +104,15 @@ def save_request_params(spool: Path, digest: str, params: Dict) -> None:
         return
     import os
 
+    from repro.resilience.fsio import replace_durable
+
     body = {key: params[key] for key in SIM_PARAM_KEYS if key in params}
     temp = path.with_name(path.name + ".tmp")
     with open(temp, "w", encoding="utf-8") as handle:
         json.dump(body, handle, sort_keys=True)
         handle.flush()
         os.fsync(handle.fileno())
-    os.replace(temp, path)
+    replace_durable(temp, path)
 
 
 def load_request_params(spool: Path, token: str) -> Dict:
@@ -319,7 +322,12 @@ def execute_job(job: Job, spool: Path, cache: ResultCache,
         "reused_journal": max(0, report.reused - reused_cache),
         "results": results_payload,
         "improvements": _improvements(report.results, params["designs"]),
-        "failures": [failure.as_dict() for failure in report.failures],
+        # Degradation payloads carry host:pid provenance so a client's
+        # post-mortem can attribute each failure to the serving process
+        # (the journal record itself stays host-independent).
+        "failures": [dict(failure.as_dict(),
+                          shard=failure.shard or execution_host())
+                     for failure in report.failures],
         "elapsed_s": round(elapsed, 3),
     }
     if sampling_plan is not None:

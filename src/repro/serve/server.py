@@ -471,7 +471,8 @@ class SimulationServer:
                 "resume_token": job.resume_token,
                 "simulated": 0,
                 "failures": [{"error_class": "DeadlineExceeded",
-                              "message": str(exc)}],
+                              "message": str(exc),
+                              "shard": jobs_mod.execution_host()}],
             }
             self.pool.mark(job, "failed", payload)
             return payload
@@ -491,7 +492,8 @@ class SimulationServer:
                 "state": "failed", "job_id": job.id,
                 "resume_token": job.resume_token,
                 "failures": [{"error_class": type(exc).__name__,
-                              "message": str(exc)}],
+                              "message": str(exc),
+                              "shard": jobs_mod.execution_host()}],
             }
             self.pool.mark(job, "failed", payload)
             return payload
