@@ -29,6 +29,7 @@ cells, 2 usage, 4 unsettled-but-resumable).
 
 from repro.campaign.analysis import campaign_pareto, format_pareto
 from repro.campaign.journal import CampaignShardJournal, shard_journal_path
+from repro.campaign.presets import PRESETS, preset_spec, preset_summaries
 from repro.campaign.lease import (
     DEFAULT_LEASE_TTL_S,
     Lease,
@@ -64,6 +65,7 @@ __all__ = [
     "Lease",
     "LeaseDir",
     "MergeReport",
+    "PRESETS",
     "ShardReport",
     "campaign_pareto",
     "campaign_status",
@@ -71,6 +73,8 @@ __all__ = [
     "load_spec",
     "merge_campaign",
     "parse_axis_argument",
+    "preset_spec",
+    "preset_summaries",
     "read_merged",
     "run_shard",
     "shard_journal_path",

@@ -1,31 +1,66 @@
-"""Pareto-front analysis of a merged campaign (runtime vs energy).
+"""Pareto-front analysis of a merged campaign (runtime x energy x area).
 
 A campaign sweeps a design space; the question it answers is rarely
 "which cell is fastest" but "which cells are *efficient*" — no other
-point beats them on both runtime and energy.  This module projects the
-canonical merged journal onto that (runtime_cycles, energy_total_nj)
-plane per workload and ranks every completed cell with the
-non-dominated-sorting peel from :mod:`repro.analysis.report`.
+point beats them on every objective at once.  This module projects the
+canonical merged journal onto (runtime_cycles, energy_total_nj,
+area_mm2) per workload and ranks every completed cell with the
+non-dominated-sorting peel from :mod:`repro.analysis.report`.  Area is
+the modeled L1-side silicon cost
+(:func:`repro.energy.sram.config_area_mm2`) of the cell's
+configuration, reconstructed from the merged header's ``base`` overrides
+plus the cell's axis values — it is what keeps a design from "winning"
+by simply spending ways.
 
 Ranking is per workload: cells of different workloads run different
 traces, so cross-workload dominance would compare apples to oranges.
+When a cell's configuration cannot be reconstructed (a merged journal
+from an older build, an axis this build does not know), the whole
+workload group degrades to the classic runtime-vs-energy plane rather
+than mixing 2-D and 3-D dominance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table, pareto_ranks
 from repro.campaign.merge import read_merged
+
+
+def _cell_area_mm2(header: Dict, values: Dict) -> Optional[float]:
+    """Modeled area of one cell's configuration, or None when the
+    configuration cannot be reconstructed from this journal."""
+    from repro.campaign.spec import AXIS_FIELDS
+    from repro.energy.sram import config_area_mm2
+    from repro.mem.os_policy import THPPolicy
+    from repro.sim.config import SystemConfig
+
+    base = header.get("base")
+    kwargs: Dict[str, object] = dict(base) if isinstance(base, dict) else {}
+    kwargs.setdefault("seed", header.get("seed", 7))
+    for axis, value in values.items():
+        if axis == "workload":
+            continue
+        field = AXIS_FIELDS.get(axis)
+        if field is None:
+            return None
+        kwargs[field] = value
+    if isinstance(kwargs.get("thp_policy"), str):
+        kwargs["thp_policy"] = THPPolicy(kwargs["thp_policy"])
+    try:
+        return config_area_mm2(SystemConfig(**kwargs))
+    except (TypeError, ValueError):
+        return None
 
 
 def campaign_pareto(merged_path) -> Dict:
     """Structured Pareto analysis of a merged campaign journal.
 
     Returns ``{"campaign", "cells", "failed", "rows"}`` where each row
-    carries the cell id, its axis values, runtime, energy, and its
-    per-workload Pareto rank (rank 1 = on the front); failed cells are
-    listed but not ranked.
+    carries the cell id, its axis values, runtime, energy, modeled area,
+    and its per-workload Pareto rank (rank 1 = on the front); failed
+    cells are listed but not ranked.
     """
     header, records = read_merged(merged_path)
     done = [record for record in records if record.get("type") == "done"]
@@ -38,16 +73,24 @@ def campaign_pareto(merged_path) -> Dict:
     rows: List[Dict] = []
     for workload in by_workload:
         group = by_workload[workload]
-        points = [(record["result"]["runtime_cycles"],
-                   record["result"]["energy_total_nj"])
-                  for record in group]
+        areas = [_cell_area_mm2(header, record.get("values", {}))
+                 for record in group]
+        with_area = all(area is not None for area in areas)
+        points = []
+        for record, area in zip(group, areas):
+            point = [record["result"]["runtime_cycles"],
+                     record["result"]["energy_total_nj"]]
+            if with_area:
+                point.append(area)
+            points.append(tuple(point))
         ranks = pareto_ranks(points)
-        for record, rank, point in zip(group, ranks, points):
+        for record, rank, point, area in zip(group, ranks, points, areas):
             rows.append({
                 "cell": record["cell"],
                 "values": dict(record.get("values", {})),
                 "runtime_cycles": point[0],
                 "energy_nj": round(point[1], 1),
+                "area_mm2": round(area, 4) if with_area else None,
                 "pareto_rank": rank,
             })
     rows.sort(key=lambda row: (row["pareto_rank"], row["cell"]))
@@ -70,18 +113,29 @@ def format_pareto(analysis: Dict) -> str:
         return " ".join(f"{axis}={value}" for axis, value in values.items()
                         if axis != "workload")
 
-    rows = [[row["pareto_rank"],
-             row["values"].get("workload", ""),
-             describe(row["values"]),
-             row["runtime_cycles"],
-             row["energy_nj"]]
-            for row in analysis["rows"]]
+    with_area = any(row.get("area_mm2") is not None
+                    for row in analysis["rows"])
+    rows = []
+    for row in analysis["rows"]:
+        cells = [row["pareto_rank"],
+                 row["values"].get("workload", ""),
+                 describe(row["values"]),
+                 row["runtime_cycles"],
+                 row["energy_nj"]]
+        if with_area:
+            cells.append("-" if row.get("area_mm2") is None
+                         else row["area_mm2"])
+        rows.append(cells)
+    headers = ["rank", "workload", "configuration", "runtime(cycles)",
+               "energy(nJ)"]
+    objectives = "runtime vs energy"
+    if with_area:
+        headers.append("area(mm2)")
+        objectives = "runtime x energy x area"
     table = format_table(
-        ["rank", "workload", "configuration", "runtime(cycles)",
-         "energy(nJ)"],
-        rows,
+        headers, rows,
         title=(f"campaign {analysis['campaign']}: Pareto ranking "
-               f"(runtime vs energy, rank 1 = efficient frontier)"))
+               f"({objectives}, rank 1 = efficient frontier)"))
     lines = [table]
     for record in analysis["failed"]:
         lines.append(

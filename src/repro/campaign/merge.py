@@ -242,6 +242,7 @@ def merge_campaign(campaign_dir, output_path=None) -> MergeReport:
         "trace_length": spec.trace_length,
         "seed": spec.seed,
         "cells": len(cells),
+        "base": dict(spec.base),
     }
     header["checksum"] = _record_checksum(header)
     lines = [json.dumps(header, sort_keys=True)]

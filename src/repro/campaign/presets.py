@@ -1,0 +1,96 @@
+"""Named campaign presets: common studies as one flag, not six axes.
+
+The lumos-style convenience layer over :class:`CampaignSpec`: each preset
+is a factory for a fully declared study grid, so
+``repro campaign init DIR --preset design-shootout`` replaces a pile of
+``--axis`` arguments.  Presets are plain specs once built — same digest
+rules, same shards, same merge — and the preset name becomes the campaign
+name (override with ``--name``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.campaign.spec import CampaignSpec
+from repro.resilience.errors import CampaignError
+
+__all__ = ["PRESETS", "preset_spec", "preset_summaries"]
+
+
+def _design_shootout(name: str, trace_length: int, seed: int) -> CampaignSpec:
+    """The paper's headline comparison (Figs. 7/14 shape): every cache
+    design across a representative cloud/SPEC slice."""
+    return CampaignSpec(
+        name=name,
+        axes=[("workload", ["gups", "mcf", "redis", "g500"]),
+              ("design", ["vipt", "pipt", "vivt", "seesaw"])],
+        trace_length=trace_length,
+        seed=seed)
+
+
+def _superpage_sensitivity(name: str, trace_length: int,
+                           seed: int) -> CampaignSpec:
+    """The fragmentation study (Fig. 12 shape): how much of SEESAW's win
+    survives as memory pressure fragments superpages."""
+    return CampaignSpec(
+        name=name,
+        axes=[("workload", ["gups", "mcf", "redis"]),
+              ("design", ["vipt", "seesaw"]),
+              ("memhog", [0.0, 0.25, 0.5])],
+        trace_length=trace_length,
+        seed=seed)
+
+
+def _capacity_frequency(name: str, trace_length: int,
+                        seed: int) -> CampaignSpec:
+    """The Table III operating points: L1 capacity x clock across the two
+    headline designs — the grid the runtime x energy x area Pareto
+    report is built for."""
+    return CampaignSpec(
+        name=name,
+        axes=[("workload", ["gups", "redis"]),
+              ("design", ["vipt", "seesaw"]),
+              ("size_kb", [32, 64]),
+              ("freq", [1.33, 2.8])],
+        trace_length=trace_length,
+        seed=seed)
+
+
+#: preset name -> (factory, one-line description).
+PRESETS: Dict[str, tuple] = {
+    "design-shootout": (
+        _design_shootout,
+        "4 workloads x 4 cache designs — the headline comparison"),
+    "superpage-sensitivity": (
+        _superpage_sensitivity,
+        "3 workloads x 2 designs x 3 fragmentation levels (memhog)"),
+    "capacity-frequency": (
+        _capacity_frequency,
+        "2 workloads x 2 designs x 2 sizes x 2 clocks (Table III points)"),
+}
+
+
+def preset_spec(preset: str, name: str = None, trace_length: int = 30_000,
+                seed: int = 42) -> CampaignSpec:
+    """Build the spec for a named preset.
+
+    Raises :class:`CampaignError` (usage exit code) for unknown names,
+    listing the valid ones.
+    """
+    try:
+        factory, _description = PRESETS[preset]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign preset {preset!r}; valid presets: "
+            f"{', '.join(sorted(PRESETS))}") from None
+    return factory(name or preset, trace_length, seed)
+
+
+def preset_summaries() -> List[tuple]:
+    """(name, description, cell count) rows for ``campaign presets``."""
+    rows = []
+    for preset in sorted(PRESETS):
+        spec = preset_spec(preset)
+        rows.append((preset, PRESETS[preset][1], len(spec.cells())))
+    return rows

@@ -54,7 +54,15 @@ continues); 128+signum on SIGINT/SIGTERM (130/143) after flushing and
 canonicalizing the journal.  ``repro serve`` shares the contract: a
 signalled server drains (in-flight requests flush their journals,
 clients get resume tokens) and exits 128+signum; a ``shutdown`` RPC
-drains and exits 0.
+drains and exits 0.  ``repro ingest`` extends it to trace import: 0 a
+clean ingest (or an idempotent re-run over a finished one); 1 malformed
+records were quarantined within budget; 2 the input is unusable
+(unsniffable format, ``--strict`` hit a bad record, the bad-record
+budget overflowed, or a resume's input fingerprint mismatched); 4 the
+ingest paused resumable (input EIO, sidecar write fault) — re-running
+the same command resumes from the offset journal.  The trace-side chaos
+kinds ``trace-truncate-input@BYTES``, ``trace-garbage@N`` and
+``trace-eio@N`` drill exactly those paths.
 """
 
 from __future__ import annotations
@@ -248,8 +256,43 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workload_token(args: argparse.Namespace) -> str:
+    """Resolve run/compare's workload identity: a synthetic name, an
+    ``rtrace:<path>`` token, or ``--trace FILE`` (sugar for the token)."""
+    from repro.ingest import trace_token
+
+    if getattr(args, "trace", None):
+        if args.workload:
+            raise ValueError(
+                "pass either a workload name or --trace FILE, not both")
+        return trace_token(args.trace)
+    if not args.workload:
+        raise ValueError(
+            f"run needs a workload name, an rtrace:<path> token, or "
+            f"--trace FILE; valid workloads: "
+            f"{', '.join(sorted(WORKLOADS))}")
+    return args.workload
+
+
+def _build_run_trace(workload: str, args: argparse.Namespace,
+                     private: bool = False):
+    """The trace for one run: generated for synthetic workloads, loaded
+    (checksum-verified) for ingested ones.  ``private`` forces a fresh
+    copy for paths that may mutate the trace (fault injection)."""
+    from repro.ingest import is_rtrace_token, load_rtrace, rtrace_path
+
+    if is_rtrace_token(workload):
+        if private:
+            return load_rtrace(rtrace_path(workload))
+        from repro.workloads.suite import cached_trace
+        return cached_trace(workload, args.length, args.seed)
+    return build_trace(get_workload(workload), length=args.length,
+                       seed=args.seed)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _apply_sanitizer_override(args)
+    workload = _run_workload_token(args)
     sampling_plan = _sampling_plan_from_args(args)
     if sampling_plan is not None:
         if args.inject:
@@ -272,8 +315,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "point for the exact lane; valid choices: drop --sampled "
                 "or drop --checkpoint")
         from repro.sampling import simulate_sampled
-        trace = build_trace(get_workload(args.workload),
-                            length=args.length, seed=args.seed)
+        trace = _build_run_trace(workload, args)
         result = simulate_sampled(_config_from_args(args), trace,
                                   sampling_plan)
         payload = _result_row(result)
@@ -291,12 +333,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             for metric, bound in sorted(block["error_bounds"].items()):
                 rows.append([f"bound {metric}", f"±{bound:.3f}"])
             print(format_table(["metric", "value"], rows,
-                               title=f"run (sampled): {args.workload}"))
+                               title=f"run (sampled): {trace.name}"))
         return 0
-    trace = build_trace(get_workload(args.workload), length=args.length,
-                        seed=args.seed)
-    config = _config_from_args(args)
     plan = _fault_plan_from_args(args)
+    trace = _build_run_trace(workload, args, private=plan is not None)
+    config = _config_from_args(args)
     if args.from_checkpoint:
         from repro.resilience.checkpoint import restore_simulator
         sim = restore_simulator(args.from_checkpoint, config, trace)
@@ -319,7 +360,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         print(format_table(["metric", "value"],
                            [[k, v] for k, v in payload.items()],
-                           title=f"run: {args.workload}"))
+                           title=f"run: {trace.name}"))
     return 0
 
 
@@ -396,7 +437,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "`repro sweep --journal PATH --resume` (reuse completed "
             "cells from PATH) or `repro resume PATH` (continue an "
             "interrupted sweep from its own header)")
-    names = args.workloads or list(WORKLOADS)
+    if getattr(args, "trace", None):
+        from repro.ingest import trace_token
+        # --trace FILEs become extra sweep rows; named alone they replace
+        # the default "every synthetic workload" expansion.
+        names = list(args.workloads or []) + [trace_token(path)
+                                              for path in args.trace]
+    else:
+        names = args.workloads or list(WORKLOADS)
     jobs = args.jobs or 1
     sampling_plan = _sampling_plan_from_args(args)
     if sampling_plan is not None and args.inject:
@@ -487,6 +535,48 @@ def cmd_resume(args: argparse.Namespace) -> int:
               f"({config.describe()})")
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a real trace file into a canonical ``.rtrace``."""
+    from repro.ingest import ingest_trace
+    from repro.resilience import chaos
+
+    with chaos.armed(_chaos_plan_from_args(args)):
+        report = ingest_trace(
+            args.input, output=args.output, fmt=args.format,
+            name=args.name, strict=args.strict,
+            max_bad_records=args.max_bad_records,
+            checkpoint_every=args.checkpoint_every,
+            force=args.force)
+    if args.json:
+        payload = {
+            "output": report.output,
+            "format": report.format,
+            "records": report.records,
+            "bad_records": report.bad_records,
+            "trace_digest": report.trace_digest,
+            "quarantine": report.quarantine,
+            "resumed_from": report.resumed_from,
+            "already_complete": report.already_complete,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return report.exit_code
+    if report.already_complete:
+        print(f"{report.output}: already ingested ({report.records} "
+              f"records, digest {report.trace_digest[:12]}...); "
+              f"pass --force to re-ingest")
+        return report.exit_code
+    resumed = (f", resumed from byte {report.resumed_from}"
+               if report.resumed_from else "")
+    print(f"ingested {args.input} -> {report.output}: {report.records} "
+          f"record(s) [{report.format}]{resumed}, digest "
+          f"{report.trace_digest[:12]}...")
+    if report.bad_records:
+        print(f"  quarantined {report.bad_records} malformed record(s) "
+              f"to {report.quarantine}")
+    print(f"  run it with: python -m repro run --trace {report.output}")
+    return report.exit_code
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Validate (and with ``--repair`` fix) a journal or checkpoint."""
     from repro.resilience import doctor
@@ -509,8 +599,10 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                 print(f"  quarantined {diagnosis.quarantined} record(s) "
                       f"to {diagnosis.quarantine_path}")
             if diagnosis.salvaged:
+                rebuilt = ("rtrace" if diagnosis.kind == "rtrace"
+                           else "journal")
                 print(f"  salvaged {diagnosis.salvaged} record(s) into "
-                      f"the canonical journal")
+                      f"the canonical {rebuilt}")
         for cell in diagnosis.rerun_cells:
             print(f"  re-run: ({cell[0]}, {cell[1]})")
         if diagnosis.kind == "journal" and diagnosis.rerun_cells:
@@ -717,15 +809,38 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
 
     if args.campaign_command == "init":
-        spec = CampaignSpec(
-            name=args.name,
-            axes=[parse_axis_argument(axis) for axis in args.axis],
-            trace_length=args.length,
-            seed=args.seed)
+        from repro.resilience.errors import CampaignError
+        if args.preset is not None:
+            if args.axis:
+                raise CampaignError(
+                    "--preset declares the full grid; it cannot be "
+                    "combined with --axis (drop one of them)")
+            from repro.campaign import preset_spec
+            spec = preset_spec(args.preset, name=args.name,
+                               trace_length=args.length, seed=args.seed)
+        else:
+            if not args.name or not args.axis:
+                raise CampaignError(
+                    "campaign init needs either --preset NAME or both "
+                    "--name and at least one --axis (see `repro campaign "
+                    "presets` for the named studies)")
+            spec = CampaignSpec(
+                name=args.name,
+                axes=[parse_axis_argument(axis) for axis in args.axis],
+                trace_length=args.length,
+                seed=args.seed)
         path = spec.save(args.dir)
         cells = spec.cells()
         print(f"campaign {spec.name}: {len(cells)} cell(s), spec digest "
               f"{spec.digest()[:12]}..., wrote {path}")
+        return 0
+
+    if args.campaign_command == "presets":
+        from repro.campaign import preset_summaries
+        rows = [[name, cells, description]
+                for name, description, cells in preset_summaries()]
+        print(format_table(["preset", "cells", "study"], rows,
+                           title="Campaign presets"))
         return 0
 
     if args.campaign_command == "worker":
@@ -863,7 +978,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="print the Table III configurations")
 
     run = sub.add_parser("run", help="simulate one workload")
-    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("workload", nargs="?", default=None,
+                     help="a workload name (see `repro workloads`) or an "
+                          "rtrace:<path> ingested-trace token")
+    run.add_argument("--trace", metavar="FILE.rtrace", default=None,
+                     help="simulate an ingested trace file instead of a "
+                          "synthetic workload (see `repro ingest`); "
+                          "--length/--seed do not apply — the trace is "
+                          "replayed as recorded")
     run.add_argument("--json", action="store_true")
     run.add_argument("--checkpoint", metavar="PATH", default=None,
                      help="write periodic checkpoints to PATH while running")
@@ -887,6 +1009,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="compare across workloads")
     sweep.add_argument("--workloads", nargs="*",
                        choices=sorted(WORKLOADS), default=None)
+    sweep.add_argument("--trace", metavar="FILE.rtrace", action="append",
+                       default=None,
+                       help="add an ingested trace as a sweep row "
+                            "(repeatable; combines with --workloads, or "
+                            "replaces the full suite when named alone)")
     sweep.add_argument("--baseline", choices=DESIGNS, default="vipt")
     sweep.add_argument("--journal", metavar="PATH", default=None,
                        help="journal each completed cell to PATH (JSONL) "
@@ -926,16 +1053,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision_arguments(resume)
 
     doctor = sub.add_parser(
-        "doctor", help="validate and repair journals/checkpoints")
+        "doctor",
+        help="validate and repair journals/checkpoints/.rtrace traces")
     doctor.add_argument("path",
-                        help="a sweep journal or checkpoint file")
+                        help="a sweep journal, checkpoint, or ingested "
+                             ".rtrace trace file")
     doctor.add_argument("--repair", action="store_true",
                         help="quarantine corrupt records to "
                              "<path>.quarantine and rebuild the journal "
                              "canonically (corrupt checkpoints are moved "
-                             "aside whole)")
+                             "aside whole; torn .rtrace files are rebuilt "
+                             "from their whole records)")
     doctor.add_argument("--json", action="store_true",
                         help="emit the diagnosis as JSON")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="import a real trace (Valgrind lackey / ChampSim address "
+             "stream) into a canonical checksummed .rtrace; streaming, "
+             "quarantining, and resumable after a crash")
+    ingest.add_argument("input", help="the raw trace file to import")
+    ingest.add_argument("--output", metavar="FILE.rtrace", default=None,
+                        help="destination (default: <input stem>.rtrace "
+                             "next to the input)")
+    ingest.add_argument("--format", choices=["auto", "lackey", "champsim"],
+                        default="auto",
+                        help="input format (auto sniffs the first lines)")
+    ingest.add_argument("--name", default=None,
+                        help="trace/workload label stored in the header "
+                             "(default: the input file's stem)")
+    ingest.add_argument("--strict", action="store_true",
+                        help="fail (exit 2) on the first malformed record "
+                             "instead of quarantining it")
+    ingest.add_argument("--max-bad-records", metavar="N", type=int,
+                        default=None,
+                        help="quarantine at most N malformed records, then "
+                             "fail with exit 2 (default: unbounded)")
+    ingest.add_argument("--checkpoint-every", metavar="LINES", type=int,
+                        default=100_000,
+                        help="flush the partial output and offset journal "
+                             "every N input lines (resume granularity)")
+    ingest.add_argument("--force", action="store_true",
+                        help="discard a previous partial/finished ingest "
+                             "of this output and start over")
+    ingest.add_argument("--json", action="store_true",
+                        help="emit the ingest report as JSON")
+    ingest.add_argument("--chaos", metavar="KIND@N", action="append",
+                        default=None,
+                        help="inject deterministic ingest faults "
+                             "(trace-truncate-input@BYTES, trace-garbage@N, "
+                             "trace-eio@N)")
 
     bench = sub.add_parser(
         "bench", help="measure simulator throughput (BENCH_perf.json)")
@@ -1025,20 +1192,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_init = campaign_sub.add_parser(
         "init", help="write a campaign spec (axes x workloads grid)")
     campaign_init.add_argument("dir", help="campaign directory")
-    campaign_init.add_argument("--name", required=True,
-                               help="campaign name (stamped in the digest)")
+    campaign_init.add_argument("--name", default=None,
+                               help="campaign name (stamped in the "
+                                    "digest); required without --preset")
     campaign_init.add_argument("--axis", metavar="NAME=V1,V2,...",
-                               action="append", required=True,
+                               action="append", default=None,
                                help="one axis (repeatable, order matters); "
                                     "a workload axis is required; config "
                                     "axes: design, size_kb, freq, core, "
                                     "memhog, aging, way_prediction, "
                                     "tft_entries, partition_ways, "
-                                    "num_cores, thp")
+                                    "num_cores, thp; required without "
+                                    "--preset")
+    campaign_init.add_argument("--preset", metavar="NAME", default=None,
+                               help="use a named study preset instead of "
+                                    "--axis arguments (see `repro campaign "
+                                    "presets`)")
     campaign_init.add_argument("--length", type=int, default=30_000,
                                help="trace length per cell")
     campaign_init.add_argument("--seed", type=int, default=42,
                                help="RNG seed shared by every cell")
+
+    campaign_sub.add_parser(
+        "presets", help="list the named study presets for campaign init")
 
     campaign_run = campaign_sub.add_parser(
         "run", help="run N shard workers to completion and print status")
@@ -1100,6 +1276,7 @@ _HANDLERS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "resume": cmd_resume,
+    "ingest": cmd_ingest,
     "doctor": cmd_doctor,
     "table3": cmd_table3,
     "bench": cmd_bench,

@@ -8,11 +8,13 @@ tables.  The accounting layer turns per-access events into the Fig. 10/11
 memory-hierarchy energy splits.
 """
 
-from repro.energy.sram import SRAMModel, table3_latencies, TABLE3
+from repro.energy.sram import (SRAMModel, config_area_mm2, table3_latencies,
+                               TABLE3)
 from repro.energy.accounting import EnergyAccountant, EnergyBreakdown
 
 __all__ = [
     "SRAMModel",
+    "config_area_mm2",
     "table3_latencies",
     "TABLE3",
     "EnergyAccountant",

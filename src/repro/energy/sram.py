@@ -1,4 +1,4 @@
-"""Analytic SRAM latency/energy model, calibrated to the paper.
+"""Analytic SRAM latency/energy/area model, calibrated to the paper.
 
 The paper's §III-B study (TSMC 28nm compiler, latency-optimized synthesis,
 scaled to 22nm) found:
@@ -76,6 +76,14 @@ class SRAMModel:
     energy_assoc_step: float = 1.45
     #: exponent for partial-way probe energy.
     partial_exponent: float = 0.75
+    #: silicon area of a 16KB direct-mapped array (mm^2, 22nm-scaled).
+    area_base_mm2: float = 0.015
+    #: area growth with capacity — bit cells dominate, so close to linear,
+    #: with a mild sublinearity from amortized periphery.
+    area_size_exponent: float = 0.95
+    #: area multiplier per associativity doubling (extra comparators,
+    #: select muxes, and duplicated tag periphery).
+    area_assoc_step: float = 1.06
 
     # ---------------------------------------------------------------- latency
 
@@ -123,3 +131,66 @@ class SRAMModel:
             return full
         fraction = (ways_probed / ways) ** self.partial_exponent
         return full * fraction * 1.0041
+
+    # ------------------------------------------------------------------- area
+
+    def array_area_mm2(self, size_bytes: int, ways: int) -> float:
+        """Silicon area of a (size, ways) array in mm^2.
+
+        Same functional form as latency/energy: a capacity power law times
+        a per-associativity-doubling step.  Area is the third axis of the
+        campaign Pareto report — a design that wins runtime and energy by
+        spending ways is not free, and this is where that cost shows.
+        """
+        if size_bytes <= 0 or ways <= 0:
+            raise ValueError("size and ways must be positive")
+        base = self.area_base_mm2 * (size_bytes / (16 * 1024)
+                                     ) ** self.area_size_exponent
+        return base * self.area_assoc_step ** math.log2(ways)
+
+
+#: Rough per-entry footprint of a TLB entry (tag CAM + PTE payload), bytes.
+_TLB_ENTRY_BYTES = 16
+#: CAM cells are ~2x SRAM cells; TLB areas get this multiplier.
+_CAM_FACTOR = 2.0
+#: SEESAW's partition decoder / TFT muxing overhead on the L1 array
+#: (paper §IV-A4 reports the instrumented overhead as well under 1%).
+_SEESAW_DECODE_OVERHEAD = 0.0041
+
+
+def config_area_mm2(config, model: "SRAMModel" = None) -> float:
+    """Total modeled L1-side area (mm^2) of a system configuration.
+
+    Duck-typed over :class:`repro.sim.config.SystemConfig` (this module
+    must not import it — config imports the SRAM model): uses
+    ``l1_design``, ``l1_size_bytes``, the design's way count
+    (``l1_ways`` / ``pipt_ways`` / ``vivt_ways``), ``tlb_shape()``,
+    ``num_cores``, and the SEESAW adders (``tft_entries``,
+    ``way_prediction``).  Covers the structures the designs actually
+    trade against each other — the L1 array, its TLBs, and the
+    design-specific bolt-ons — scaled by core count.
+    """
+    sram = model or SRAMModel()
+    ways = {"pipt": config.pipt_ways,
+            "vivt": config.vivt_ways}.get(config.l1_design, config.l1_ways)
+    area = sram.array_area_mm2(config.l1_size_bytes, ways)
+    if config.l1_design == "seesaw":
+        # TFT: a small fully-associative CAM, plus the partition decoder.
+        tft_bytes = config.tft_entries * _TLB_ENTRY_BYTES
+        area += _CAM_FACTOR * sram.array_area_mm2(
+            max(tft_bytes, 64), max(1, config.tft_entries))
+        area *= 1 + _SEESAW_DECODE_OVERHEAD
+        if config.way_prediction:
+            # One predicted-way byte per set.
+            sets = config.l1_size_bytes // (64 * config.l1_ways)
+            area += sram.array_area_mm2(max(sets, 64), 1)
+    shape = config.tlb_shape()
+    for level, way_key in (("l1_4kb", "l1_4kb_ways"),
+                           ("l1_2mb", "l1_2mb_ways"),
+                           ("l2", "l2_ways")):
+        entries = shape.get(f"{level}_entries", 0)
+        if entries:
+            area += _CAM_FACTOR * sram.array_area_mm2(
+                max(entries * _TLB_ENTRY_BYTES, 64),
+                max(1, shape.get(way_key, 1)))
+    return area * max(1, getattr(config, "num_cores", 1))

@@ -1,0 +1,73 @@
+"""Real-trace ingestion: streaming importers, quarantine, canonical
+checksummed ``.rtrace`` traces, and crash-resumable ingest.
+
+The public surface the rest of the stack uses:
+
+* :func:`ingest_trace` — the resumable streaming importer
+  (``repro ingest``);
+* :func:`load_rtrace` / :func:`cached_rtrace` — verify-and-decode a
+  canonical trace into a :class:`~repro.workloads.trace.MemoryTrace`;
+* :func:`read_header` — cheap identity/digest lookup for guards;
+* ``rtrace:<path>`` workload tokens (:func:`is_rtrace_token` /
+  :func:`rtrace_path` / :func:`trace_token`) — how ingested traces flow
+  through sweeps, the serve layer, and campaigns without every caller
+  learning a new type.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ingest.formats import (ChampSimParser, LackeyParser,
+                                  MalformedRecord, PARSERS, get_parser,
+                                  sniff_format)
+from repro.ingest.rtrace import (MAGIC, RECORD_SIZE, cached_rtrace,
+                                 inspect_rtrace, load_rtrace, read_header,
+                                 write_rtrace)
+from repro.ingest.runner import (IngestReport, default_output, ingest_trace,
+                                 sidecar_paths)
+
+__all__ = [
+    "MAGIC",
+    "RECORD_SIZE",
+    "PARSERS",
+    "MalformedRecord",
+    "LackeyParser",
+    "ChampSimParser",
+    "get_parser",
+    "sniff_format",
+    "cached_rtrace",
+    "load_rtrace",
+    "read_header",
+    "write_rtrace",
+    "inspect_rtrace",
+    "IngestReport",
+    "ingest_trace",
+    "default_output",
+    "sidecar_paths",
+    "RTRACE_TOKEN_PREFIX",
+    "is_rtrace_token",
+    "rtrace_path",
+    "trace_token",
+]
+
+#: Workload tokens of this form name an ingested trace file anywhere a
+#: synthetic workload name is accepted (sweep cells, serve requests,
+#: campaign axes): ``rtrace:path/to/trace.rtrace``.
+RTRACE_TOKEN_PREFIX = "rtrace:"
+
+
+def is_rtrace_token(workload: str) -> bool:
+    """True when ``workload`` names an ingested trace, not a synthetic."""
+    return isinstance(workload, str) \
+        and workload.startswith(RTRACE_TOKEN_PREFIX)
+
+
+def rtrace_path(token: str) -> str:
+    """The file path inside an ``rtrace:`` workload token."""
+    return token[len(RTRACE_TOKEN_PREFIX):]
+
+
+def trace_token(path) -> str:
+    """The workload token for an ingested trace file."""
+    return RTRACE_TOKEN_PREFIX + str(Path(path))

@@ -1,0 +1,278 @@
+"""The canonical ``.rtrace`` on-disk trace format.
+
+``repro ingest`` normalizes every supported input format into one
+canonical, checksummed, binary trace file so the rest of the stack
+(simulator, checkpoints, serve result cache, campaign digests) never
+touches raw third-party formats.  Layout, mirroring the checkpoint and
+journal conventions:
+
+* line 1 — magic: ``repro-rtrace v1``;
+* line 2 — a JSON header (sorted keys) carrying the format version, the
+  trace name, the source format, record / quarantined-record counts, the
+  payload length, the payload's SHA-256, and the trace digest
+  (:func:`repro.resilience.checkpoint.trace_digest` of the decoded
+  trace — the same digest checkpoints, the serve result cache, and
+  campaign journals key on);
+* the rest — ``records`` fixed-size packed references, 14 bytes each
+  (``<QIBB``: virtual address u64, gap u32, flags u8 with bit 0 =
+  write, core u8).
+
+The header is deliberately free of timestamps and absolute paths: the
+same input ingested twice — or an interrupted ingest resumed to
+completion — produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.resilience.errors import RtraceError
+from repro.resilience.fsio import replace_durable
+from repro.workloads.trace import MemoryTrace
+
+__all__ = [
+    "MAGIC",
+    "RECORD_SIZE",
+    "FLAG_WRITE",
+    "pack_record",
+    "unpack_payload",
+    "write_rtrace",
+    "read_header",
+    "load_rtrace",
+    "cached_rtrace",
+    "inspect_rtrace",
+]
+
+#: First line of every ``.rtrace`` file.
+MAGIC = "repro-rtrace v1"
+#: Current header/payload format version.
+VERSION = 1
+
+_RECORD = struct.Struct("<QIBB")
+#: Bytes per packed reference.
+RECORD_SIZE = _RECORD.size
+#: Bit 0 of the flags byte: this reference is a write.
+FLAG_WRITE = 0x01
+
+_U64_MAX = (1 << 64) - 1
+_U32_MAX = (1 << 32) - 1
+
+
+def pack_record(virtual_address: int, is_write: bool,
+                core: int, gap: int) -> bytes:
+    """Pack one reference into its 14-byte canonical form.
+
+    Gap and core saturate at their field widths (a >4-billion-instruction
+    gap or >255 cores carries no simulator-visible information anyway);
+    the address must fit u64 — parsers reject wider ones as malformed.
+    """
+    return _RECORD.pack(virtual_address & _U64_MAX,
+                        min(gap, _U32_MAX),
+                        FLAG_WRITE if is_write else 0,
+                        min(core, 0xFF))
+
+
+def unpack_payload(payload: bytes) -> Tuple[List[int], List[bool],
+                                            List[int], List[int]]:
+    """Unpack a packed payload into the four trace columns."""
+    addresses: List[int] = []
+    writes: List[bool] = []
+    cores: List[int] = []
+    gaps: List[int] = []
+    for va, gap, flags, core in _RECORD.iter_unpack(payload):
+        addresses.append(va)
+        writes.append(bool(flags & FLAG_WRITE))
+        cores.append(core)
+        gaps.append(gap)
+    return addresses, writes, cores, gaps
+
+
+def build_trace(name: str, payload: bytes) -> MemoryTrace:
+    """Decode a packed payload into a :class:`MemoryTrace`."""
+    addresses, writes, cores, gaps = unpack_payload(payload)
+    return MemoryTrace(name, addresses, writes, cores, gaps)
+
+
+def write_rtrace(path, name: str, source_format: str, payload: bytes,
+                 bad_records: int = 0) -> Dict:
+    """Atomically publish a canonical ``.rtrace``; returns its header.
+
+    The trace digest in the header is computed by decoding the payload
+    and hashing it exactly the way checkpoints hash in-memory traces, so
+    a loaded ``.rtrace`` digests identically to the file that claims it.
+    """
+    if len(payload) % RECORD_SIZE:
+        raise RtraceError(
+            f"{path}: payload is {len(payload)} bytes, not a multiple of "
+            f"the {RECORD_SIZE}-byte record size")
+    from repro.resilience.checkpoint import trace_digest
+    header = {
+        "version": VERSION,
+        "name": name,
+        "format": source_format,
+        "records": len(payload) // RECORD_SIZE,
+        "bad_records": bad_records,
+        "payload_bytes": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "trace_digest": trace_digest(build_trace(name, payload)),
+    }
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(MAGIC.encode("ascii") + b"\n")
+        handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        handle.write(b"\n")
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    replace_durable(temp, path)
+    return header
+
+
+def _read_prelude(handle, path) -> Tuple[Dict, int]:
+    """Read and validate the magic + header lines; return (header,
+    payload start offset)."""
+    magic = handle.readline()
+    if magic.rstrip(b"\n").decode("ascii", "replace") != MAGIC:
+        raise RtraceError(
+            f"{path}: not an rtrace file (bad magic line); expected "
+            f"{MAGIC!r} — run `repro ingest` to produce one")
+    header_line = handle.readline()
+    try:
+        header = json.loads(header_line)
+    except ValueError as exc:
+        raise RtraceError(f"{path}: corrupt rtrace header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise RtraceError(f"{path}: rtrace header is not a JSON object")
+    for key in ("version", "name", "records", "payload_bytes",
+                "payload_sha256", "trace_digest"):
+        if key not in header:
+            raise RtraceError(f"{path}: rtrace header missing {key!r}")
+    if header["version"] != VERSION:
+        raise RtraceError(
+            f"{path}: rtrace version {header['version']} is not supported "
+            f"(this build reads version {VERSION})")
+    return header, len(magic) + len(header_line)
+
+
+def read_header(path) -> Dict:
+    """The validated header of an ``.rtrace`` file (payload unread).
+
+    Cheap — two lines of I/O — so digest guards (sweep headers, serve
+    admission) can check a trace's identity without decoding it.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            header, _ = _read_prelude(handle, path)
+    except OSError as exc:
+        raise RtraceError(
+            f"{path}: cannot read rtrace: {exc.strerror or exc}") from exc
+    return header
+
+
+def load_rtrace(path) -> MemoryTrace:
+    """Load and fully verify an ``.rtrace`` into a :class:`MemoryTrace`.
+
+    Verifies payload length and SHA-256 before decoding, so a torn or
+    corrupted file raises a typed :class:`RtraceError` (pointing at
+    ``repro doctor``) instead of silently simulating garbage.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            header, _ = _read_prelude(handle, path)
+            payload = handle.read()
+    except OSError as exc:
+        raise RtraceError(
+            f"{path}: cannot read rtrace: {exc.strerror or exc}") from exc
+    if len(payload) != header["payload_bytes"]:
+        raise RtraceError(
+            f"{path}: payload is {len(payload)} bytes, header promises "
+            f"{header['payload_bytes']} — truncated or torn; "
+            f"`repro doctor {path}` can salvage the whole records")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise RtraceError(
+            f"{path}: payload checksum mismatch (corrupted in place); "
+            f"`repro doctor {path}` reports the damage")
+    return build_trace(header["name"], payload)
+
+
+#: Tiny (path, size, mtime) -> MemoryTrace memo: sweeps touch the same
+#: ingested trace once per (design x workload) cell, and re-ingesting a
+#: file bumps its mtime, which invalidates the entry naturally.
+_RTRACE_MEMO: Dict[Tuple[str, int, int], MemoryTrace] = {}
+_RTRACE_MEMO_MAX = 2
+
+
+def cached_rtrace(path) -> MemoryTrace:
+    """:func:`load_rtrace` behind a small identity-keyed memo.
+
+    Callers must treat the result as read-only (the same contract as
+    ``workloads.suite.cached_trace``); fault-injection paths that mutate
+    traces load private copies via :func:`load_rtrace` directly.
+    """
+    resolved = str(Path(path).resolve())
+    try:
+        stat = os.stat(resolved)
+    except OSError as exc:
+        raise RtraceError(
+            f"{path}: no ingested trace there ({exc.strerror or exc}); "
+            f"run `repro ingest` first") from exc
+    key = (resolved, stat.st_size, stat.st_mtime_ns)
+    trace = _RTRACE_MEMO.get(key)
+    if trace is None:
+        trace = load_rtrace(resolved)
+        if len(_RTRACE_MEMO) >= _RTRACE_MEMO_MAX:
+            _RTRACE_MEMO.pop(next(iter(_RTRACE_MEMO)))
+        _RTRACE_MEMO[key] = trace
+    return trace
+
+
+def inspect_rtrace(path) -> Dict:
+    """Structural report for the doctor: what is wrong and what is
+    salvageable, without raising.
+
+    Returns a dict with ``magic_ok``, ``header`` (or None), ``payload_start``,
+    ``payload_bytes`` (actual), ``whole_records`` (how many complete
+    14-byte records the actual payload holds), ``torn_bytes`` (trailing
+    partial record), ``sha_ok`` (None when the header is unreadable), and
+    ``resume_offset`` — the exact file offset after the last whole record.
+    """
+    path = Path(path)
+    report: Dict = {"magic_ok": False, "header": None, "payload_start": 0,
+                    "payload_bytes": 0, "whole_records": 0, "torn_bytes": 0,
+                    "sha_ok": None, "resume_offset": 0}
+    with open(path, "rb") as handle:
+        magic = handle.readline()
+        report["magic_ok"] = (
+            magic.rstrip(b"\n").decode("ascii", "replace") == MAGIC)
+        if not report["magic_ok"]:
+            return report
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except ValueError:
+            header = None
+        if isinstance(header, dict):
+            report["header"] = header
+        payload_start = len(magic) + len(header_line)
+        report["payload_start"] = payload_start
+        payload = handle.read()
+    report["payload_bytes"] = len(payload)
+    report["whole_records"] = len(payload) // RECORD_SIZE
+    report["torn_bytes"] = len(payload) % RECORD_SIZE
+    report["resume_offset"] = (payload_start
+                               + report["whole_records"] * RECORD_SIZE)
+    if isinstance(header, dict) and "payload_sha256" in header:
+        report["sha_ok"] = (
+            len(payload) == header.get("payload_bytes")
+            and hashlib.sha256(payload).hexdigest()
+            == header["payload_sha256"])
+    return report

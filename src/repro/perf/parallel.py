@@ -54,6 +54,8 @@ from repro.resilience.runner import (
     _cell_worker,
     retry_delay,
     retry_rng_for,
+    sweep_header_fields,
+    verify_rtrace_digests,
 )
 
 
@@ -450,20 +452,13 @@ def parallel_sweep(base_config, workloads, trace_length: int = 60_000,
     try:
         if journal is not None:
             if resume and journal.exists():
-                _, done = journal.read()
+                header, done = journal.read()
+                verify_rtrace_digests(header, journal.path)
             else:
-                header_fields = {
-                    "config": config_to_dict(base_config),
-                    "config_digest": config_digest(base_config),
-                    "workloads": workloads,
-                    "designs": designs,
-                    "trace_length": trace_length,
-                    "seed": seed,
-                }
-                if sampling_plan is not None:
-                    header_fields["sampling"] = sampling_plan.to_dict()
                 try:
-                    journal.write_header(header_fields)
+                    journal.write_header(sweep_header_fields(
+                        base_config, workloads, designs, trace_length,
+                        seed, sampling_plan=sampling_plan))
                 except JournalWriteError as exc:
                     pause = exc
 

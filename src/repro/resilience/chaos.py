@@ -36,6 +36,17 @@ host fault kind           effect
 ``stale-lock@N``          plant an expired lease owned by a phantom shard
                           in front of the N-th claim attempt, forcing the
                           claim through the steal/reclaim path
+``trace-truncate-input    clamp the trace-ingest *input* stream at byte
+@BYTES``                  ``BYTES`` — reads past it return EOF, simulating
+                          a truncated/partially-copied trace file (here
+                          the ``@`` value is a byte offset, not an event
+                          index, mirroring the spec's own name)
+``trace-garbage@N``       overwrite a deterministic slice in the middle of
+                          the N-th ingest input chunk with garbage bytes —
+                          the tolerant decoder must quarantine, not crash
+``trace-eio@N``           the N-th ingest input chunk read raises
+                          ``OSError(EIO)`` — the ingest must pause with
+                          its offset journal intact and resume cleanly
 ========================  ==================================================
 
 Plans are armed process-locally (:func:`arm` / :func:`disarm` /
@@ -69,6 +80,9 @@ HOST_FAULT_KINDS = (
     "shard-kill",
     "lease-steal",
     "stale-lock",
+    "trace-truncate-input",
+    "trace-garbage",
+    "trace-eio",
 )
 
 _TORN_KINDS = frozenset(("journal-torn", "checkpoint-torn"))
@@ -254,3 +268,43 @@ def after_write(stream: str) -> None:
     spec = _STATE.take(f"{stream}-post", set(_SIGNAL_KINDS))
     if spec is not None:
         os.kill(os.getpid(), _SIGNAL_KINDS[spec.kind])
+
+
+#: Deterministic filler spliced into a chunk by ``trace-garbage`` — long
+#: enough to tear any text record it lands on, never a valid line itself.
+_GARBAGE = b"\xfe\x00GARBAGE\x00\xfe"
+
+
+def input_truncate_at() -> Optional[int]:
+    """The armed ``trace-truncate-input`` clamp (a byte offset), or None.
+
+    Unlike the event-counter kinds this is a *persistent* property of the
+    armed plan: the ingest reader clamps its input stream at the smallest
+    armed offset for the whole run, as if the file really ended there.
+    """
+    if _STATE is None:
+        return None
+    offsets = [spec.at for spec in _STATE.plan.specs
+               if spec.kind == "trace-truncate-input"]
+    return min(offsets) if offsets else None
+
+
+def ingest_read_fault(data: bytes) -> bytes:
+    """Count one ingest input-chunk read; inject the fault due now.
+
+    ``trace-eio`` raises ``OSError(EIO)`` (no bytes delivered);
+    ``trace-garbage`` returns ``data`` with a deterministic garbage slice
+    spliced into its middle (same length, so offsets stay honest).
+    """
+    if _STATE is None:
+        return data
+    spec = _STATE.take("trace-read", {"trace-garbage", "trace-eio"})
+    if spec is None:
+        return data
+    if spec.kind == "trace-eio":
+        raise OSError(errno.EIO, "chaos: simulated EIO on trace input read")
+    if not data:
+        return data
+    middle = len(data) // 2
+    filler = _GARBAGE[:len(data) - middle]
+    return data[:middle] + filler + data[middle + len(filler):]

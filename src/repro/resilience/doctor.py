@@ -5,17 +5,24 @@ state behind:
 
 * a **sweep journal** with a torn trailing line (benign — ``read()``
   tolerates it) or corrupt mid-file records (``read()`` refuses them);
-* a **checkpoint** file that fails its magic/header/length/sha checks.
+* a **checkpoint** file that fails its magic/header/length/sha checks;
+* an ingested **.rtrace** trace with a torn payload (truncated copy,
+  crash mid-publish) or an in-place corruption its SHA-256 catches.
 
-The doctor diagnoses both without ever raising on content (it is built
-on :meth:`SweepJournal.scan`, the salvage primitive), and — under
-``--repair`` — quarantines every corrupt record to
+The doctor diagnoses all three without ever raising on content (it is
+built on :meth:`SweepJournal.scan` and
+:func:`repro.ingest.rtrace.inspect_rtrace`, the salvage primitives),
+and — under ``--repair`` — quarantines every corrupt record to
 ``<path>.quarantine`` (JSONL, one ``{"line": N, "raw": ...}`` object per
 quarantined line), rebuilds the journal canonically from every
 checksum-valid record, and reports exactly which cells a resume will
 re-run.  Checkpoints are not patchable (the payload hash either matches
 or it does not), so repairing one moves it aside and lets the sweep
-re-simulate from the journal.
+re-simulate from the journal.  A truncated ``.rtrace`` *is* patchable —
+its payload is fixed-size records, so repair rebuilds a valid trace
+from every whole record and quarantines the torn tail bytes; an rtrace
+whose checksum fails at full length is quarantined aside like a
+checkpoint (some bytes flipped, no way to tell which).
 """
 
 from __future__ import annotations
@@ -37,9 +44,11 @@ __all__ = [
     "diagnose",
     "diagnose_journal",
     "diagnose_checkpoint",
+    "diagnose_rtrace",
     "repair",
     "repair_journal",
     "repair_checkpoint",
+    "repair_rtrace",
 ]
 
 
@@ -48,7 +57,7 @@ class Diagnosis:
     """What the doctor found (and, after ``--repair``, what it did)."""
 
     path: str
-    kind: str                       # "journal" | "checkpoint"
+    kind: str                       # "journal" | "checkpoint" | "rtrace"
     healthy: bool = True
     repairable: bool = True
     #: conditions that block a plain ``read()`` / ``load_checkpoint()``.
@@ -84,13 +93,23 @@ class Diagnosis:
 
 
 def detect_kind(path) -> str:
-    """Classify ``path`` as "checkpoint" or "journal" by its first bytes."""
+    """Classify ``path`` as "checkpoint", "rtrace", or "journal" by its
+    first bytes."""
     path = Path(path)
     if not path.exists():
         raise JournalError(f"no file at {path} to diagnose")
     with open(path, "rb") as handle:
-        head = handle.read(len(MAGIC))
-    return "checkpoint" if head.startswith(b"repro-checkpoint") else "journal"
+        head = handle.read(max(len(MAGIC), 32))
+    if head.startswith(b"repro-checkpoint"):
+        return "checkpoint"
+    if head.startswith(b"repro-rtrace"):
+        return "rtrace"
+    if path.suffix == ".rtrace":
+        # The magic line itself is damaged; the extension still tells us
+        # what the file claims to be, so the rtrace doctor gets to report
+        # the bad magic instead of the journal scanner choking on binary.
+        return "rtrace"
+    return "journal"
 
 
 # ------------------------------------------------------------------ journal
@@ -300,17 +319,148 @@ def repair_checkpoint(path) -> Diagnosis:
     return diagnosis
 
 
+# ------------------------------------------------------------------- rtrace
+
+def diagnose_rtrace(path) -> Diagnosis:
+    """Inspect an ingested ``.rtrace`` without modifying it.
+
+    Reports the exact salvage arithmetic: how many whole records the
+    actual payload holds, how many torn tail bytes a repair would
+    quarantine, and the exact byte offset a rebuilt file would end at.
+    When the interrupted *ingest's* own offset journal
+    (``<input>.rtrace.ingest``) is still present, the right tool is
+    ``repro ingest`` itself — the note says so.
+    """
+    from repro.ingest.rtrace import RECORD_SIZE, inspect_rtrace
+    path = Path(path)
+    diagnosis = Diagnosis(path=str(path), kind="rtrace")
+    if not path.exists():
+        diagnosis.healthy = False
+        diagnosis.repairable = False
+        diagnosis.problems.append(f"no rtrace at {path}")
+        return diagnosis
+    try:
+        report = inspect_rtrace(path)
+    except OSError as exc:
+        diagnosis.healthy = False
+        diagnosis.repairable = False
+        diagnosis.problems.append(
+            f"cannot read rtrace: {exc.strerror or exc}")
+        return diagnosis
+    ingest_journal = path.with_name(path.name + ".ingest")
+    if ingest_journal.exists():
+        diagnosis.notes.append(
+            f"an interrupted ingest left its offset journal at "
+            f"{ingest_journal}; `repro ingest` resumes it from the exact "
+            f"input byte it stopped at — prefer that over repairing here")
+    if not report["magic_ok"]:
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            "bad magic line — not a (readable) rtrace file; repair "
+            "quarantines it aside so a re-ingest can replace it")
+        return diagnosis
+    header = report["header"]
+    if header is None:
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            "corrupt rtrace header (invalid JSON); the record geometry "
+            "is unknowable, so repair quarantines the file aside")
+        return diagnosis
+    promised = header.get("payload_bytes")
+    actual = report["payload_bytes"]
+    if report["torn_bytes"] or (isinstance(promised, int)
+                                and actual < promised):
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            f"payload truncated: {actual} bytes on disk vs "
+            f"{promised} promised; {report['whole_records']} whole "
+            f"{RECORD_SIZE}-byte record(s) are salvageable, "
+            f"{report['torn_bytes']} torn tail byte(s) are not")
+        diagnosis.notes.append(
+            f"repair rebuilds a valid rtrace from the whole records, "
+            f"ending at byte offset {report['resume_offset']}")
+    elif report["sha_ok"] is False:
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            "payload checksum mismatch at full length (corrupted in "
+            "place) — no way to tell which records are poisoned, so "
+            "repair quarantines the file aside for a re-ingest")
+    elif report["sha_ok"] is None:
+        diagnosis.healthy = False
+        diagnosis.problems.append(
+            "header carries no payload checksum; repair quarantines the "
+            "file aside")
+    return diagnosis
+
+
+def repair_rtrace(path) -> Diagnosis:
+    """Salvage a damaged ``.rtrace``.
+
+    Truncated payload: rebuild a valid, checksummed rtrace from every
+    whole record (atomic replace) and append the torn tail bytes to
+    ``<path>.quarantine`` as one ``{"offset": N, "raw_hex": ...}`` JSON
+    line.  Anything else (bad magic, corrupt header, checksum mismatch
+    at full length): move the whole file to ``<path>.quarantine`` —
+    checkpoint-style — so a re-ingest starts clean.
+    """
+    from repro.ingest.rtrace import (RECORD_SIZE, inspect_rtrace,
+                                     write_rtrace)
+    path = Path(path)
+    diagnosis = diagnose_rtrace(path)
+    if diagnosis.healthy or not diagnosis.repairable:
+        return diagnosis
+    report = inspect_rtrace(path)
+    header = report["header"]
+    quarantine = path.with_name(path.name + ".quarantine")
+    salvageable = (
+        report["magic_ok"] and header is not None
+        and report["whole_records"] > 0
+        and (report["torn_bytes"]
+             or (isinstance(header.get("payload_bytes"), int)
+                 and report["payload_bytes"] < header["payload_bytes"])))
+    if not salvageable:
+        replace_durable(path, quarantine)
+        diagnosis.quarantine_path = str(quarantine)
+        diagnosis.quarantined = 1
+        diagnosis.repaired = True
+        return diagnosis
+    with open(path, "rb") as handle:
+        handle.seek(report["payload_start"])
+        payload = handle.read(report["whole_records"] * RECORD_SIZE)
+        torn = handle.read()
+    if torn:
+        with open(quarantine, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"offset": report["resume_offset"],
+                 "raw_hex": torn.hex()}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        fsync_parent_dir(quarantine)
+        diagnosis.quarantine_path = str(quarantine)
+        diagnosis.quarantined = 1
+    write_rtrace(path, header.get("name", path.stem),
+                 header.get("format", "unknown"), payload,
+                 bad_records=header.get("bad_records", 0))
+    diagnosis.salvaged = report["whole_records"]
+    diagnosis.repaired = True
+    diagnosis.healthy = True
+    diagnosis.problems = []
+    return diagnosis
+
+
 # ------------------------------------------------------------------ dispatch
 
+_DIAGNOSERS = {"checkpoint": diagnose_checkpoint, "rtrace": diagnose_rtrace}
+_REPAIRERS = {"checkpoint": repair_checkpoint, "rtrace": repair_rtrace}
+
+
 def diagnose(path) -> Diagnosis:
-    """Diagnose ``path`` as whatever it is (journal or checkpoint)."""
+    """Diagnose ``path`` as whatever it is (journal, checkpoint, rtrace)."""
     kind = detect_kind(path)
-    return (diagnose_checkpoint(path) if kind == "checkpoint"
-            else diagnose_journal(path))
+    return _DIAGNOSERS.get(kind, diagnose_journal)(path)
 
 
 def repair(path) -> Diagnosis:
-    """Repair ``path`` as whatever it is (journal or checkpoint)."""
+    """Repair ``path`` as whatever it is (journal, checkpoint, rtrace)."""
     kind = detect_kind(path)
-    return (repair_checkpoint(path) if kind == "checkpoint"
-            else repair_journal(path))
+    return _REPAIRERS.get(kind, repair_journal)(path)

@@ -33,6 +33,16 @@ The serve layer adds *admission* errors — structured request rejections
 :class:`JobNotFound`) that map to JSON-RPC error codes instead of process
 exits, and :class:`DeadlineExceeded`, the per-request deadline that
 degrades unfinished cells into ``FailedCell`` records.
+
+``repro ingest`` (the real-trace importer) extends the contract with the
+:class:`IngestError` family: 0 for a clean import; 1 when malformed
+input records were quarantined (within the ``--max-bad-records``
+budget) but the canonical ``.rtrace`` was still produced; 2 for unusable
+input (unknown format, corruption beyond the budget or under
+``--strict``, an invalid ``.rtrace``, a resume whose input changed);
+4 when the ingest paused cleanly (input EIO, output write fault) with
+its offset journal intact — re-running the same ``repro ingest``
+command resumes from the journaled byte offset.
 """
 
 from __future__ import annotations
@@ -111,6 +121,39 @@ class CampaignError(ReproResilienceError):
 
 class CheckpointError(ReproResilienceError):
     """A checkpoint could not be written, read, or applied."""
+
+
+class IngestError(ReproResilienceError):
+    """Base of real-trace ingestion failures (``repro ingest``)."""
+
+
+class TraceFormatError(IngestError, ValueError):
+    """The input's trace format is unknown, unsniffable, or the
+    requested format name is not a registered parser."""
+
+
+class RtraceError(IngestError):
+    """A canonical ``.rtrace`` file is missing, corrupt, or fails its
+    checksum — ``repro doctor FILE.rtrace`` diagnoses and repairs."""
+
+
+class TraceCorruptionError(IngestError):
+    """The input is too corrupt to ingest as configured: a malformed
+    record under ``--strict``, more bad records than the
+    ``--max-bad-records`` budget allows, or a resumed ingest whose input
+    file no longer matches the offset journal's fingerprint."""
+
+
+class IngestPausedError(IngestError):
+    """The ingest paused cleanly on an I/O fault (input EIO, output
+    write error, disk full).
+
+    The offset journal and partial output reflect the last completed
+    checkpoint, so re-running the same ``repro ingest`` command resumes
+    from the journaled byte offset instead of starting over.
+    """
+
+    exit_code = EXIT_PAUSED
 
 
 class JournalWriteError(ReproResilienceError):

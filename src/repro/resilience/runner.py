@@ -377,6 +377,73 @@ class SweepJournal:
         return True
 
 
+# ----------------------------------------------------------- sweep headers
+
+def sweep_header_fields(base_config, workloads, designs, trace_length: int,
+                        seed: int, sampling_plan=None) -> Dict:
+    """The journal header both sweep engines write.
+
+    One shared builder keeps the serial and parallel engines byte-identical
+    (a pinned invariant).  When any workload is an ``rtrace:`` token, the
+    header records that trace's digest so a resume against a re-ingested
+    or swapped trace file is refused instead of mixing results.
+    """
+    fields: Dict = {
+        "config": config_to_dict(base_config),
+        "config_digest": config_digest(base_config),
+        "workloads": list(workloads),
+        "designs": list(designs),
+        "trace_length": trace_length,
+        "seed": seed,
+    }
+    rtrace_digests = _rtrace_digests(workloads)
+    if rtrace_digests:
+        fields["rtrace_digests"] = rtrace_digests
+    if sampling_plan is not None:
+        fields["sampling"] = sampling_plan.to_dict()
+    return fields
+
+
+def _rtrace_digests(workloads) -> Dict[str, str]:
+    """token -> trace digest for every ingested-trace workload (cheap:
+    header reads only)."""
+    from repro.ingest import is_rtrace_token, read_header, rtrace_path
+
+    return {workload: read_header(rtrace_path(workload))["trace_digest"]
+            for workload in workloads if is_rtrace_token(workload)}
+
+
+def verify_rtrace_digests(header: Dict, journal_path) -> None:
+    """Refuse to resume a journal whose ingested traces changed on disk.
+
+    Synthetic workloads are pinned by (name, length, seed) in the header;
+    ingested traces are files that can be re-ingested or replaced between
+    runs, so their digests are checked against the current ``.rtrace``
+    headers before any cell is reused.
+    """
+    digests = header.get("rtrace_digests") or {}
+    if not digests:
+        return
+    from repro.ingest import read_header, rtrace_path
+    from repro.resilience.errors import RtraceError
+
+    for token, expected in digests.items():
+        path = rtrace_path(token)
+        try:
+            current = read_header(path)["trace_digest"]
+        except RtraceError as exc:
+            raise JournalError(
+                f"{journal_path}: cannot resume — ingested trace {path} is "
+                f"missing or unreadable ({exc}); restore it or start a "
+                f"fresh journal") from exc
+        if current != expected:
+            raise JournalError(
+                f"{journal_path}: cannot resume — ingested trace {path} "
+                f"changed since the journal was written (digest "
+                f"{current[:12]}… != journaled {expected[:12]}…); re-run "
+                f"against the original trace or start a fresh journal")
+
+
 # ------------------------------------------------------------ cell execution
 
 def _run_cell(config, workload: str, trace_length: int, seed: int,
@@ -401,8 +468,13 @@ def _run_cell(config, workload: str, trace_length: int, seed: int,
         trace = cached_trace(workload, trace_length, seed=seed)
     else:
         # Fault injection may mutate the trace in place (trace-truncate);
-        # build a private copy.
-        trace = build_trace(get_workload(workload), trace_length, seed=seed)
+        # build a private copy (a fresh verified load for ingested traces).
+        from repro.ingest import is_rtrace_token, load_rtrace, rtrace_path
+        if is_rtrace_token(workload):
+            trace = load_rtrace(rtrace_path(workload))
+        else:
+            trace = build_trace(get_workload(workload), trace_length,
+                                seed=seed)
     sim = SystemSimulator(config, trace)
     if fault_plan is not None:
         sim.arm_faults(fault_plan)
@@ -701,19 +773,12 @@ def resilient_sweep(base_config, workloads, trace_length: int = 60_000,
     done: Dict[Tuple[str, str], Dict] = {}
     if journal is not None:
         if resume and journal.exists():
-            _, done = journal.read()
+            header, done = journal.read()
+            verify_rtrace_digests(header, journal.path)
         else:
-            header_fields = {
-                "config": config_to_dict(base_config),
-                "config_digest": config_digest(base_config),
-                "workloads": workloads,
-                "designs": designs,
-                "trace_length": trace_length,
-                "seed": seed,
-            }
-            if sampling_plan is not None:
-                header_fields["sampling"] = sampling_plan.to_dict()
-            journal.write_header(header_fields)
+            journal.write_header(sweep_header_fields(
+                base_config, workloads, designs, trace_length, seed,
+                sampling_plan=sampling_plan))
 
     cells = list(dict.fromkeys(
         (workload, design) for workload in workloads for design in designs))

@@ -88,8 +88,8 @@ TOKEN_RE = re.compile(r"[0-9a-f]{64}")
 
 #: every key ``run``/``sweep`` params may carry, with a short form note.
 _PARAM_FORMS = {
-    "workload": "workload: a workload name (run only)",
-    "workloads": "workloads: list of workload names",
+    "workload": "workload: a workload name or rtrace:<path> (run only)",
+    "workloads": "workloads: list of workload names / rtrace:<path> tokens",
     "design": f"design: one of {', '.join(_DESIGNS)} (run only)",
     "designs": f"designs: list drawn from {', '.join(_DESIGNS)}",
     "length": "length: trace references, int >= 1",
@@ -257,11 +257,27 @@ def validate_params(method: str, params: Dict) -> Dict:
         if not isinstance(workloads, list) or not workloads:
             raise _invalid("workloads", "expected a non-empty list")
         for workload in workloads:
-            if workload not in WORKLOADS:
-                raise _invalid(
-                    "workloads" if method == "sweep" else "workload",
-                    f"unknown workload {workload!r}; valid workloads: "
-                    f"{', '.join(sorted(WORKLOADS))}")
+            if workload in WORKLOADS:
+                continue
+            if isinstance(workload, str) and workload.startswith("rtrace:"):
+                # Ingested-trace tokens: admit only a readable, valid
+                # .rtrace (header check — cheap), so a bad path fails the
+                # request at validation instead of inside a worker.  The
+                # result cache keys on the trace digest in that header.
+                from repro.ingest import read_header, rtrace_path
+                from repro.resilience.errors import RtraceError
+                try:
+                    read_header(rtrace_path(workload))
+                except RtraceError as exc:
+                    raise _invalid(
+                        "workloads" if method == "sweep" else "workload",
+                        str(exc))
+                continue
+            raise _invalid(
+                "workloads" if method == "sweep" else "workload",
+                f"unknown workload {workload!r}; valid workloads: "
+                f"{', '.join(sorted(WORKLOADS))} (or rtrace:<path> for "
+                f"an ingested trace)")
         if not isinstance(designs, list) or not designs:
             raise _invalid("designs", "expected a non-empty list")
         for design in designs:

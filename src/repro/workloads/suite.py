@@ -178,15 +178,52 @@ def workload_names() -> List[str]:
 def get_workload(name: str) -> WorkloadSpec:
     """Look up a spec by name.
 
+    ``rtrace:<path>`` tokens (ingested real traces — see
+    :mod:`repro.ingest`) resolve to a descriptive stub spec built from the
+    trace's header, so every caller that validates or labels workloads by
+    spec works unchanged; trace *construction* for tokens goes through
+    :func:`cached_trace`, never :func:`build_trace`.
+
     Raises:
         KeyError: for unknown workload names, listing the valid ones.
     """
+    from repro.ingest import is_rtrace_token
+    if is_rtrace_token(name):
+        return _rtrace_spec(name)
     try:
         return WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; valid workloads: "
-            f"{', '.join(sorted(WORKLOADS))}") from None
+            f"{', '.join(sorted(WORKLOADS))} (or rtrace:<path> for an "
+            f"ingested trace)") from None
+
+
+def _rtrace_spec(token: str) -> WorkloadSpec:
+    """A stub :class:`WorkloadSpec` describing an ingested trace file.
+
+    Reads only the trace header (cheap).  The mix/footprint fields are
+    informational — nothing generates synthetic references from this spec.
+    """
+    from repro.ingest import read_header, rtrace_path
+    from repro.ingest.rtrace import RECORD_SIZE
+    from repro.resilience.errors import RtraceError
+
+    path = rtrace_path(token)
+    try:
+        header = read_header(path)
+    except RtraceError as exc:
+        raise KeyError(str(exc)) from exc
+    except OSError as exc:
+        raise KeyError(
+            f"{path}: cannot read ingested trace "
+            f"({exc.strerror or exc})") from exc
+    return WorkloadSpec(
+        name=header["name"],
+        footprint_bytes=header["payload_bytes"] // RECORD_SIZE * 64,
+        mix=(0.0, 0.0, 0.0, 0.0),
+        description=(f"ingested {header.get('format', 'unknown')} trace, "
+                     f"{header['records']} references ({path})"))
 
 
 def _make_generator(spec: WorkloadSpec, num_lines: int, seed: int,
@@ -359,7 +396,15 @@ def cached_trace(workload: str, length: int, seed: int = 42) -> MemoryTrace:
     one trace object instead of regenerating it.  Callers that mutate the
     trace — e.g. the fault injector's ``trace-truncate`` — must use
     :func:`build_trace` directly.
+
+    ``rtrace:<path>`` tokens load the ingested trace file (with checksum
+    verification) through the ingest layer's own memo; ``length`` and
+    ``seed`` do not apply — an ingested trace is replayed as recorded.
     """
+    from repro.ingest import is_rtrace_token
+    if is_rtrace_token(workload):
+        from repro.ingest import cached_rtrace, rtrace_path
+        return cached_rtrace(rtrace_path(workload))
     key = (workload, length, seed)
     trace = _TRACE_MEMO.get(key)
     if trace is None:

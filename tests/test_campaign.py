@@ -526,3 +526,119 @@ class TestFailureProvenance:
             message="boom", traceback="", config_digest="d" * 64,
             attempts=1)
         assert failure.as_dict()["shard"] == ""
+
+
+# --------------------------------------------------- preset satellites
+
+class TestPresets:
+    def test_preset_spec_builds_full_grid(self):
+        from repro.campaign import PRESETS, preset_spec, preset_summaries
+        spec = preset_spec("design-shootout")
+        assert spec.name == "design-shootout"
+        assert len(spec.cells()) == 16
+        named = preset_spec("design-shootout", name="mine")
+        assert named.name == "mine"
+        # summaries list every preset with its true cell count
+        rows = {name: cells for name, _desc, cells in preset_summaries()}
+        assert set(rows) == set(PRESETS)
+        for preset in PRESETS:
+            assert rows[preset] == len(preset_spec(preset).cells())
+
+    def test_unknown_preset_is_typed_and_lists_names(self):
+        from repro.campaign import preset_spec
+        with pytest.raises(CampaignError) as info:
+            preset_spec("nope")
+        assert "design-shootout" in str(info.value)
+
+    def test_cli_init_with_preset(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["campaign", "init", str(tmp_path / "c"),
+                     "--preset", "superpage-sensitivity"]) == 0
+        spec = load_spec(tmp_path / "c")
+        assert spec.name == "superpage-sensitivity"
+        assert len(spec.cells()) == 18
+        # idempotent re-init of the same preset
+        assert main(["campaign", "init", str(tmp_path / "c"),
+                     "--preset", "superpage-sensitivity"]) == 0
+        capsys.readouterr()
+
+    def test_cli_init_rejects_preset_plus_axis_and_bare_init(
+            self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["campaign", "init", str(tmp_path / "c"),
+                     "--preset", "design-shootout",
+                     "--axis", "design=vipt"]) == 2
+        assert main(["campaign", "init", str(tmp_path / "c2")]) == 2
+        capsys.readouterr()
+
+    def test_cli_presets_listing(self, capsys):
+        from repro.cli import main
+        assert main(["campaign", "presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("design-shootout", "superpage-sensitivity",
+                     "capacity-frequency"):
+            assert name in out
+
+
+# ------------------------------------------------------ area satellites
+
+class TestAreaDimension:
+    def test_area_model_monotone_in_size_and_ways(self):
+        from repro.energy.sram import SRAMModel, config_area_mm2
+        from repro.sim.config import SystemConfig
+        model = SRAMModel()
+        assert model.array_area_mm2(64 * 1024, 8) \
+            > model.array_area_mm2(32 * 1024, 8)
+        assert model.array_area_mm2(32 * 1024, 16) \
+            > model.array_area_mm2(32 * 1024, 8)
+        # seesaw carries the TFT/decoder adders over a same-shape vipt
+        vipt = SystemConfig(l1_design="vipt")
+        seesaw = SystemConfig(l1_design="seesaw")
+        assert config_area_mm2(seesaw) > config_area_mm2(vipt)
+        # more cores, more L1 slices
+        assert config_area_mm2(SystemConfig(num_cores=8)) \
+            > config_area_mm2(SystemConfig(num_cores=4))
+
+    def test_pareto_report_carries_area_and_3d_ranks(self, tmp_path):
+        spec = CampaignSpec(
+            name="area", axes=[("workload", ["gups"]),
+                               ("design", ["vipt", "seesaw"])],
+            trace_length=LENGTH, seed=SEED)
+        spec.save(tmp_path)
+        run_shard(tmp_path, "shard-0", ttl_s=5.0)
+        merge_campaign(tmp_path)
+        analysis = campaign_pareto(tmp_path / "merged.journal")
+        assert analysis["done"] == 2
+        for row in analysis["rows"]:
+            assert row["area_mm2"] is not None
+            assert row["area_mm2"] > 0
+        # vipt has no TFT: it must be strictly smaller, so even if it
+        # loses runtime and energy it cannot be dominated in 3-D.
+        by_design = {row["values"]["design"]: row
+                     for row in analysis["rows"]}
+        assert by_design["vipt"]["area_mm2"] \
+            < by_design["seesaw"]["area_mm2"]
+        assert by_design["vipt"]["pareto_rank"] == 1
+        from repro.campaign.analysis import format_pareto
+        rendered = format_pareto(analysis)
+        assert "area(mm2)" in rendered
+        assert "runtime x energy x area" in rendered
+
+    def test_merged_header_records_base_overrides(self, tmp_path):
+        from repro.campaign.merge import read_merged
+        spec = CampaignSpec(
+            name="based", axes=[("workload", ["gups"]),
+                                ("design", ["vipt"])],
+            trace_length=LENGTH, seed=SEED,
+            base={"l1_size_kb": 64})
+        spec.save(tmp_path)
+        run_shard(tmp_path, "shard-0", ttl_s=5.0)
+        merge_campaign(tmp_path)
+        header, _records = read_merged(tmp_path / "merged.journal")
+        assert header["base"] == {"l1_size_kb": 64}
+        # and the area reconstruction uses it: 64KB beats 32KB default
+        analysis = campaign_pareto(tmp_path / "merged.journal")
+        from repro.energy.sram import config_area_mm2
+        from repro.sim.config import SystemConfig
+        small = config_area_mm2(SystemConfig(l1_design="vipt"))
+        assert analysis["rows"][0]["area_mm2"] > small
